@@ -1,0 +1,62 @@
+"""Ablation A1: vertical partitioning vs data inflation.
+
+The paper attributes the Native-vs-RDBMS gap to two causes: the SAP
+database is ~10x the bytes, and every query joins the vertical
+partitions back together.  This ablation separates them:
+
+* full-scan COUNT(*) on LINEITEM vs its SAP partitions isolates the
+  *inflation* factor (same operation, more bytes);
+* Q6 (a single-table query on the original schema that becomes a
+  4-way join on SAP) adds the *partitioning* factor on top.
+"""
+
+from repro.reports import native30
+
+
+def _count_scan(db, sql):
+    span = db.clock.span()
+    db.execute(sql)
+    return span.stop()
+
+
+def test_ablation_partitioning(benchmark, rdbms, r3_30, bench_sf):
+    def run():
+        # Inflation only: sequential scans of the same logical data.
+        scan_orig = _count_scan(
+            rdbms, "SELECT COUNT(*) FROM lineitem WHERE l_quantity >= 0"
+        )
+        scan_sap = 0.0
+        for table in ("vbap", "vbep", "konv"):
+            span = r3_30.measure()
+            r3_30.native_sql.exec_sql(
+                f"SELECT COUNT(*) FROM {table} "
+                f"WHERE mandt = '{r3_30.client}'"
+            )
+            scan_sap += span.stop()
+        # Inflation + partitioning: Q6 both ways.
+        from repro.tpcd.queries import build_queries, run_query
+
+        span = rdbms.clock.span()
+        run_query(rdbms, build_queries(bench_sf)[6])
+        q6_orig = span.stop()
+        span = r3_30.measure()
+        native30.q6(r3_30)
+        q6_sap = span.stop()
+        return scan_orig, scan_sap, q6_orig, q6_sap
+
+    scan_orig, scan_sap, q6_orig, q6_sap = benchmark.pedantic(
+        run, rounds=1, iterations=1,
+    )
+    inflation = scan_sap / max(scan_orig, 1e-9)
+    total_gap = q6_sap / max(q6_orig, 1e-9)
+    partitioning = total_gap / max(inflation, 1e-9)
+    print()
+    print(f"scan cost       orig {scan_orig:8.2f}s  sap {scan_sap:8.2f}s"
+          f"  -> inflation factor {inflation:.1f}x")
+    print(f"Q6 cost         orig {q6_orig:8.2f}s  sap {q6_sap:8.2f}s"
+          f"  -> total gap {total_gap:.1f}x")
+    print(f"residual attributable to partitioning: {partitioning:.1f}x")
+    benchmark.extra_info["inflation_x"] = round(inflation, 2)
+    benchmark.extra_info["total_gap_x"] = round(total_gap, 2)
+    assert inflation > 1.5
+    assert total_gap > inflation  # partitioning adds on top

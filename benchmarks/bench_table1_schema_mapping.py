@@ -1,0 +1,14 @@
+"""Table 1: the SAP tables storing the TPC-D data (structural check)."""
+
+from repro.core.experiments import table1_schema_mapping
+from repro.core.results import render_table
+
+
+def test_table1_schema_mapping(benchmark):
+    rows = benchmark(table1_schema_mapping)
+    assert len(rows) == 17
+    print()
+    print(render_table(
+        ["SAP Table", "Description", "Orig. TPC-D Tab."], rows,
+        title="Table 1: SAP tables used in the TPC-D benchmark",
+    ))

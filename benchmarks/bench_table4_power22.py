@@ -1,0 +1,45 @@
+"""Table 4: the TPC-D power test under SAP R/3 Release 2.2G."""
+
+import pytest
+
+from repro.core import paperdata
+from repro.core.powertest import run_power_test
+from repro.r3.appserver import R3Version
+
+
+@pytest.fixture(scope="module")
+def result(data, bench_sf):
+    return run_power_test(bench_sf, R3Version.V22, data=data,
+                          include_updates=True)
+
+
+def test_table4_power22(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for variant in ("rdbms", "native", "open"):
+        benchmark.extra_info[f"{variant}_total_s"] = round(
+            result.total(variant), 1
+        )
+    # Paper Table 4 orderings:
+    rdbms = result.total("rdbms", queries_only=True)
+    native = result.total("native", queries_only=True)
+    open_sql = result.total("open", queries_only=True)
+    assert rdbms < native < open_sql
+
+
+def test_table4_shape_vs_paper(benchmark, result):
+    """Report the measured-vs-paper slowdown ratios per variant."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    paper = paperdata.TABLE4_22G_S
+    paper_rdbms = paperdata.total(paper["rdbms"], queries_only=True)
+    measured_rdbms = result.total("rdbms", queries_only=True)
+    print()
+    for variant in ("native", "open"):
+        paper_ratio = paperdata.total(paper[variant], queries_only=True) \
+            / paper_rdbms
+        measured_ratio = result.total(variant, queries_only=True) \
+            / measured_rdbms
+        print(f"2.2 {variant:>6} vs RDBMS: paper {paper_ratio:.1f}x, "
+              f"measured {measured_ratio:.1f}x")
+        assert measured_ratio > 1.5

@@ -1,0 +1,58 @@
+"""Table 5: the TPC-D power test under SAP R/3 Release 3.0E."""
+
+import pytest
+
+from repro.core import paperdata
+from repro.core.powertest import run_power_test
+from repro.r3.appserver import R3Version
+
+
+@pytest.fixture(scope="module")
+def result(data, bench_sf):
+    return run_power_test(bench_sf, R3Version.V30, data=data,
+                          include_updates=True)
+
+
+def test_table5_power30(benchmark, result):
+    benchmark.pedantic(lambda: result, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for variant in ("rdbms", "native", "open"):
+        benchmark.extra_info[f"{variant}_total_s"] = round(
+            result.total(variant), 1
+        )
+    rdbms = result.total("rdbms", queries_only=True)
+    native = result.total("native", queries_only=True)
+    open_sql = result.total("open", queries_only=True)
+    assert rdbms < native < open_sql
+
+
+def test_table5_upgrade_gain(benchmark, result, data, bench_sf):
+    """Paper: Open SQL gained ~7h from the 2.2 -> 3.0 rewrite."""
+    result22 = run_power_test(bench_sf, R3Version.V22, data=data,
+                              include_updates=False)
+    benchmark.pedantic(lambda: result22, rounds=1, iterations=1)
+    open22 = result22.total("open", queries_only=True)
+    open30 = result.total("open", queries_only=True)
+    native22 = result22.total("native", queries_only=True)
+    native30 = result.total("native", queries_only=True)
+    print()
+    print(f"Open SQL:   2.2 {open22:.0f}s -> 3.0 {open30:.0f}s "
+          f"({open22 / open30:.1f}x; paper 2.2x)")
+    print(f"Native SQL: 2.2 {native22:.0f}s -> 3.0 {native30:.0f}s "
+          f"({native22 / native30:.1f}x; paper 1.5x)")
+    assert open30 < open22
+    assert native30 < native22
+
+
+def test_table5_unnesting_effect(benchmark, result):
+    """Q2/Q11/Q16: manual unnesting makes Open SQL competitive."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    times = result.times
+    overall = (result.total("open", queries_only=True)
+               / result.total("native", queries_only=True))
+    for name in ("Q2", "Q11", "Q16"):
+        per_query = times["open"][name] / max(times["native"][name], 1e-9)
+        print(f"{name}: open/native {per_query:.2f} "
+              f"(suite average {overall:.2f})")
+        assert per_query < overall

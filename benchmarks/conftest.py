@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The bench scale factor defaults to 0.002 (the smallest SF at which the
+paper's aggregate orderings are stable); override with the REPRO_SF
+environment variable.  Every bench reports its *simulated* durations
+via ``benchmark.extra_info`` — wall-clock times measure the simulator,
+the simulated times reproduce the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.powertest import build_sap_system
+from repro.r3.appserver import R3Version
+from repro.tpcd.dbgen import generate
+from repro.tpcd.loader import load_original
+
+BENCH_SF = float(os.environ.get("REPRO_SF", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def bench_sf():
+    return BENCH_SF
+
+
+@pytest.fixture(scope="session")
+def data():
+    return generate(BENCH_SF)
+
+
+@pytest.fixture(scope="session")
+def rdbms(data):
+    return load_original(data)
+
+
+@pytest.fixture(scope="session")
+def r3_22(data):
+    return build_sap_system(data, R3Version.V22)
+
+
+@pytest.fixture(scope="session")
+def r3_30(data):
+    return build_sap_system(data, R3Version.V30)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The Table 8 caching study: buffering MARA in the application server.
+
+A sales clerk entering orders touches the same parts over and over;
+SAP R/3 can keep those records in the application server and skip the
+database entirely.  This example replays the paper's Figure 5 report —
+one SELECT SINGLE against MARA per VBAP row — under three buffer
+configurations.
+
+Run:  python examples/caching_study.py [scale_factor]
+"""
+
+import sys
+
+from repro.core.experiments import table8_caching
+from repro.core.powertest import build_sap_system
+from repro.r3.appserver import R3Version
+from repro.sim.clock import format_duration
+from repro.tpcd.dbgen import generate
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.002
+    print(f"building an R/3 3.0E system at SF={scale_factor} ...")
+    r3 = build_sap_system(generate(scale_factor), R3Version.V30)
+
+    print("replaying the Figure 5 report under three buffer sizes ...\n")
+    result = table8_caching(r3)
+
+    print(f"{result.lookups} small queries against MARA "
+          f"(paper: 1.2 million at SF=0.2)\n")
+    print(f"{'cache':<8} {'hit ratio':>10} {'cost for querying MARA':>24}")
+    for label in ("none", "small", "large"):
+        hit_ratio, cost = result.configs[label]
+        print(f"{label:<8} {hit_ratio:>9.0%} "
+              f"{format_duration(cost):>24}")
+    print()
+    none_cost = result.configs["none"][1]
+    large_cost = result.configs["large"][1]
+    print(f"a buffer that holds the whole table wins "
+          f"{none_cost / max(large_cost, 1e-9):.1f}x "
+          f"(paper: 3x); a thrashing one is a wash — "
+          f"management overhead eats the few hits.")
+
+
+if __name__ == "__main__":
+    main()

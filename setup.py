@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e .`) on the offline toolchain.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Reproduction of *Database Performance in the Real World — TPC-D and
+SAP R/3* (Doppelhammer, Höppler, Kemper, Kossmann; SIGMOD 1997).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim`       — simulated clock / metrics / disk
+* :mod:`repro.engine`    — the relational back-end (SQL, optimizer, executor)
+* :mod:`repro.tpcd`      — TPC-D data generator, queries, update functions
+* :mod:`repro.r3`        — the SAP R/3 application-server simulator
+* :mod:`repro.sapschema` — the TPC-D data inside SAP's 17-table schema
+* :mod:`repro.reports`   — the benchmark reports (RDBMS / Native / Open SQL)
+* :mod:`repro.warehouse` — data-warehouse extraction
+* :mod:`repro.core`      — power-test harness, experiments, calibration
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,150 @@
+"""Command-line entry point: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments from the shell:
+
+    python -m repro power --release 3.0 --sf 0.002
+    python -m repro dbsize
+    python -m repro loading --sf 0.0005
+    python -m repro plan-trap
+    python -m repro aggregation
+    python -m repro caching
+    python -m repro warehouse
+    python -m repro eis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import experiments as ex
+from repro.core.powertest import build_sap_system, run_power_test
+from repro.core.results import duration_cell, kb_cell, render_table
+from repro.r3.appserver import R3Version
+from repro.sim.clock import format_duration
+from repro.tpcd.dbgen import generate
+
+
+def _version(args) -> R3Version:
+    return R3Version.V22 if args.release == "2.2" else R3Version.V30
+
+
+def _build_30(args):
+    return build_sap_system(generate(args.sf), R3Version.V30)
+
+
+def cmd_power(args) -> None:
+    result = run_power_test(args.sf, _version(args),
+                            include_updates=not args.no_updates)
+    print(result.render())
+
+
+def cmd_dbsize(args) -> None:
+    result = ex.table2_dbsize(scale_factor=args.sf)
+    rows = [
+        [entity, kb_cell(e["orig_data"]), kb_cell(e["orig_index"]),
+         kb_cell(e["sap_data"]), kb_cell(e["sap_index"])]
+        for entity, e in result.entities.items()
+    ]
+    print(render_table(
+        ["", "Orig Data KB", "Orig Idx KB", "SAP Data KB", "SAP Idx KB"],
+        rows, title=f"Table 2 at SF={args.sf}",
+    ))
+    print(f"inflation: data {result.data_inflation:.1f}x, "
+          f"index {result.index_inflation:.1f}x")
+
+
+def cmd_loading(args) -> None:
+    timings = ex.table3_loading(scale_factor=args.sf)
+    for entity in ("SUPPLIER", "PART", "PARTSUPP", "CUSTOMER",
+                   "ORDER+LINEITEM"):
+        print(f"{entity:16} {duration_cell(timings.effective(entity))}")
+
+
+def cmd_plan_trap(args) -> None:
+    result = ex.table6_plan_choice(_build_30(args))
+    for (interface, label), seconds in sorted(result.times.items()):
+        print(f"{interface:>6} / {label:<4} "
+              f"{duration_cell(seconds):>10} "
+              f"({result.rows[(interface, label)]} rows)")
+
+
+def cmd_aggregation(args) -> None:
+    result = ex.table7_aggregation(_build_30(args))
+    print(f"native {duration_cell(result.native_s)}  "
+          f"open {duration_cell(result.open_s)}  "
+          f"match={result.rows_match}")
+
+
+def cmd_caching(args) -> None:
+    result = ex.table8_caching(_build_30(args))
+    for label, (hit_ratio, cost) in result.configs.items():
+        print(f"{label:<6} hit {hit_ratio:>4.0%}  "
+              f"cost {duration_cell(cost)}")
+
+
+def cmd_warehouse(args) -> None:
+    results = ex.table9_warehouse(_build_30(args))
+    total = 0.0
+    for name, entry in results.items():
+        total += entry.elapsed_s
+        print(f"{name:10} {entry.rows:7} rows  "
+              f"{duration_cell(entry.elapsed_s)}")
+    print(f"{'total':10} {'':>12} {duration_cell(total)}")
+
+
+def cmd_eis(args) -> None:
+    from repro.warehouse.eis import EisWarehouse, breakeven_queries
+    from repro.reports import open30
+
+    r3 = _build_30(args)
+    warehouse = EisWarehouse.build_from_sap(r3)
+    eis_total = warehouse.run_power_test(args.sf)
+    suite = open30.make_queries(args.sf)
+    span = r3.measure()
+    for number in range(1, 18):
+        suite[number](r3)
+    open_total = span.stop()
+    rounds = breakeven_queries(warehouse.build.total_s, open_total,
+                               eis_total)
+    print(f"construction {format_duration(warehouse.build.total_s)}, "
+          f"power test on EIS {format_duration(eis_total)}, "
+          f"via Open SQL {format_duration(open_total)}")
+    print(f"break-even after ~{rounds:.1f} power-test rounds")
+
+
+COMMANDS = {
+    "power": cmd_power,
+    "dbsize": cmd_dbsize,
+    "loading": cmd_loading,
+    "plan-trap": cmd_plan_trap,
+    "aggregation": cmd_aggregation,
+    "caching": cmd_caching,
+    "warehouse": cmd_warehouse,
+    "eis": cmd_eis,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the SIGMOD'97 TPC-D / SAP R/3 experiments",
+    )
+    parser.add_argument("experiment", choices=sorted(COMMANDS))
+    parser.add_argument("--sf", type=float, default=0.002,
+                        help="TPC-D scale factor (default 0.002)")
+    parser.add_argument("--release", choices=["2.2", "3.0"],
+                        default="3.0", help="R/3 release (power test)")
+    parser.add_argument("--no-updates", action="store_true",
+                        help="skip UF1/UF2 in the power test")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    COMMANDS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

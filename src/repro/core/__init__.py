@@ -1,0 +1,13 @@
+"""The paper's headline contribution: application-level benchmarking.
+
+This package ties everything together: the TPC-D power test across all
+measured configurations (:mod:`repro.core.powertest`), the auxiliary
+experiments behind Tables 2/3/6/7/8/9 (:mod:`repro.core.experiments`),
+calibration constants (:mod:`repro.core.calibration`), the paper's
+published numbers (:mod:`repro.core.paperdata`) and result formatting
+(:mod:`repro.core.results`).
+"""
+
+from repro.core.powertest import PowerTestResult, run_power_test
+
+__all__ = ["PowerTestResult", "run_power_test"]

@@ -1,0 +1,160 @@
+"""The TPC-D power test across all measured configurations.
+
+Reproduces the paper's Tables 4 and 5: every query and update function
+executed one at a time, timed individually on the simulated clock, for
+
+* the isolated RDBMS on the original schema,
+* Native SQL reports on the SAP schema,
+* Open SQL reports on the SAP schema,
+
+in either Release 2.2G or 3.0E.  The update functions run through
+batch input for both SAP variants, so their times are recorded
+identically (as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import paperdata
+from repro.core.results import duration_cell, render_table
+from repro.engine.database import Database
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.upgrade import upgrade_to_30
+from repro.reports import native22, native30, open22, open30
+from repro.reports.updatefuncs import run_uf1_sap, run_uf2_sap
+from repro.sapschema.loader import load_sap_fast
+from repro.sim.params import SimParams
+from repro.tpcd.dbgen import (
+    TpcdData,
+    delete_keys,
+    generate,
+    generate_refresh_orders,
+)
+from repro.tpcd.loader import load_original
+from repro.tpcd.queries import build_queries, run_query
+from repro.tpcd.updates import run_uf1_rdbms, run_uf2_rdbms
+
+
+@dataclass
+class PowerTestResult:
+    version: R3Version
+    scale_factor: float
+    #: variant -> {'Q1': seconds, ..., 'UF1': ..., 'UF2': ...}
+    times: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: variant -> {'Q1': rows, ...} for sanity checks
+    row_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def total(self, variant: str, queries_only: bool = False) -> float:
+        names = paperdata.QUERIES if queries_only \
+            else paperdata.QUERIES + paperdata.UPDATES
+        times = self.times[variant]
+        return sum(times[name] for name in names if name in times)
+
+    def render(self) -> str:
+        variants = list(self.times)
+        headers = ["Query"] + [v.upper() for v in variants]
+        rows = []
+        for name in paperdata.QUERIES + paperdata.UPDATES:
+            rows.append([name] + [
+                duration_cell(self.times[v].get(name)) for v in variants
+            ])
+        rows.append(["Total (quer.)"] + [
+            duration_cell(self.total(v, queries_only=True))
+            for v in variants
+        ])
+        rows.append(["Total (all)"] + [
+            duration_cell(self.total(v)) for v in variants
+        ])
+        title = (f"TPC-D Power Test, SAP R/3 {self.version.value}, "
+                 f"SF={self.scale_factor} (simulated time)")
+        return render_table(headers, rows, title=title)
+
+
+def build_sap_system(data: TpcdData, version: R3Version,
+                     params: SimParams | None = None) -> R3System:
+    """A loaded SAP system at the requested release level.
+
+    3.0E systems are produced the way the paper produced them: install
+    2.2G, load, then upgrade in place (KONV conversion included) and
+    drop the counterproductive default shipdate index.
+    """
+    r3 = R3System(R3Version.V22, params=params)
+    load_sap_fast(r3, data)
+    if version is R3Version.V30:
+        upgrade_to_30(r3)
+        r3.db.drop_index("idx_vbep_edatu")
+        r3.db.analyze()
+    return r3
+
+
+def run_power_test(
+    scale_factor: float = 0.002,
+    version: R3Version = R3Version.V30,
+    params: SimParams | None = None,
+    variants: tuple[str, ...] = ("rdbms", "native", "open"),
+    include_updates: bool = True,
+    data: TpcdData | None = None,
+) -> PowerTestResult:
+    data = data or generate(scale_factor)
+    refresh = generate_refresh_orders(data)
+    doomed = delete_keys(data)
+    result = PowerTestResult(version=version, scale_factor=scale_factor)
+
+    if "rdbms" in variants:
+        db = load_original(data, params=params)
+        result.times["rdbms"], result.row_counts["rdbms"] = \
+            _run_rdbms(db, scale_factor, refresh, doomed, include_updates)
+
+    sap_suites = {
+        "native": (native22 if version is R3Version.V22
+                   else native30).make_queries(scale_factor),
+        "open": (open22 if version is R3Version.V22
+                 else open30).make_queries(scale_factor),
+    }
+    sap_needed = [v for v in variants if v in sap_suites]
+    uf_times: dict[str, float] = {}
+    for i, variant in enumerate(sap_needed):
+        r3 = build_sap_system(data, version, params)
+        times: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for number in range(1, 18):
+            span = r3.measure()
+            rows = sap_suites[variant][number](r3)
+            times[f"Q{number}"] = span.stop()
+            counts[f"Q{number}"] = len(rows)
+        if include_updates:
+            if not uf_times:
+                # Both SAP variants use the identical batch-input
+                # implementation; measure once, record for both.
+                span = r3.measure()
+                run_uf1_sap(r3, refresh)
+                uf_times["UF1"] = span.stop()
+                span = r3.measure()
+                run_uf2_sap(r3, doomed)
+                uf_times["UF2"] = span.stop()
+            times.update(uf_times)
+        result.times[variant] = times
+        result.row_counts[variant] = counts
+    return result
+
+
+def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
+               doomed: list[int], include_updates: bool
+               ) -> tuple[dict[str, float], dict[str, int]]:
+    specs = build_queries(scale_factor)
+    times: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for number in sorted(specs):
+        span = db.clock.span()
+        rows = run_query(db, specs[number])
+        times[f"Q{number}"] = span.stop()
+        counts[f"Q{number}"] = len(rows.rows)
+    if include_updates:
+        span = db.clock.span()
+        run_uf1_rdbms(db, refresh)
+        times["UF1"] = span.stop()
+        span = db.clock.span()
+        run_uf2_rdbms(db, doomed)
+        times["UF2"] = span.stop()
+    return times, counts

@@ -1,0 +1,66 @@
+"""Result formatting: paper-style tables and paper-vs-measured views."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.sim.clock import format_duration
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Monospace table renderer (right-aligned numeric columns)."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def duration_cell(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    return format_duration(seconds)
+
+
+def kb_cell(byte_count: int) -> str:
+    return f"{byte_count // 1024:,}"
+
+
+def ratio(a: float, b: float) -> float:
+    """a / b with a guard for zero denominators."""
+    if b == 0:
+        return float("inf") if a > 0 else 1.0
+    return a / b
+
+
+def shape_report(
+    measured: Mapping[str, float],
+    paper: Mapping[str, float],
+    baseline_measured: Mapping[str, float],
+    baseline_paper: Mapping[str, float],
+    names: Sequence[str],
+) -> list[tuple[str, float, float]]:
+    """Per-entry (name, measured ratio, paper ratio) vs a baseline.
+
+    The reproduction's claim is that *ratios against the baseline*
+    match the paper's, not absolute values.
+    """
+    out = []
+    for name in names:
+        out.append((
+            name,
+            ratio(measured[name], baseline_measured[name]),
+            ratio(paper[name], baseline_paper[name]),
+        ))
+    return out

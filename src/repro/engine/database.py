@@ -1,0 +1,337 @@
+"""Public engine facade.
+
+A :class:`Database` bundles clock, metrics, disk model, buffer pool,
+catalog, statistics and planner behind a DB-API-flavoured interface:
+
+>>> db = Database()
+>>> db.create_table(TableSchema("t", [Column("a", SqlType.integer())]))
+>>> db.execute("INSERT INTO t VALUES (1)")
+>>> db.execute("SELECT a FROM t").rows
+[(1,)]
+
+``prepare()`` returns a reusable parameterized statement planned
+*once*, with parameter-blind selectivity estimates — the engine-level
+hook SAP's cursor caching uses (and the mechanism behind the paper's
+Table 6 optimizer trap).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import CatalogError, PlanError
+from repro.engine.exec.base import ExecContext
+from repro.engine.expr import Expr, OutputSchema, predicate_holds
+from repro.engine.plan.binder import bind_expr
+from repro.engine.plan.planner import PlannedQuery, Planner
+from repro.engine.schema import TableSchema
+from repro.engine.sql.ast import (
+    DeleteStmt,
+    InsertStmt,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.engine.sql.parser import parse_select, parse_sql
+from repro.engine.stats import TableStats, analyze
+from repro.sim.clock import SimulatedClock
+from repro.sim.disk import DiskModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.params import SimParams
+
+
+@dataclass
+class Result:
+    """Query result: column names and materialized rows."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> object:
+        """First column of the first row (None on empty results)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+
+class PreparedStatement:
+    """A statement planned once and executable many times.
+
+    Parameter markers are opaque at plan time, so access paths are
+    chosen with default selectivities — exactly what a parameterized
+    cursor in a 1990s RDBMS did.
+    """
+
+    def __init__(self, database: "Database", sql: str) -> None:
+        self._database = database
+        self.sql = sql
+        self._plan: PlannedQuery | None = None
+        stmt = parse_sql(sql)
+        if isinstance(stmt, SelectStmt):
+            self._plan = database._plan(stmt)
+            self._stmt = None
+        else:
+            self._stmt = stmt
+        self.executions = 0
+
+    def execute(self, params: Sequence[object] = ()) -> Result:
+        self.executions += 1
+        if self._plan is not None:
+            return self._database._run_plan(self._plan, params)
+        assert self._stmt is not None
+        return self._database._execute_dml(copy.deepcopy(self._stmt), params)
+
+    def explain(self) -> str:
+        if self._plan is None:
+            return f"DML({self.sql})"
+        return self._plan.operator.explain()
+
+
+class Database:
+    """An isolated engine instance with its own simulated clock."""
+
+    def __init__(self, params: SimParams | None = None,
+                 name: str = "db") -> None:
+        self.name = name
+        self.params = params or SimParams()
+        self.clock = SimulatedClock()
+        self.metrics = MetricsCollector()
+        self.disk = DiskModel(
+            self.clock, self.metrics,
+            seq_read_s=self.params.seq_read_s,
+            random_read_s=self.params.random_read_s,
+            write_s=self.params.write_s,
+        )
+        capacity = max(
+            1, self.params.buffer_pool_bytes // self.params.page_size_bytes
+        )
+        self.buffer_pool = BufferPool(
+            capacity, self.disk, self.clock, self.metrics,
+            hit_cpu_s=self.params.buffer_hit_s,
+        )
+        self.catalog = Catalog(self.buffer_pool, self.clock, self.metrics,
+                               self.params)
+        self.stats: dict[str, TableStats] = {}
+        self.ctx = ExecContext(self.clock, self.metrics, self.params,
+                               self.buffer_pool)
+        self._planner = Planner(self.catalog, self.stats, self.ctx)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema):
+        return self.catalog.create_table(schema)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.stats.pop(name.lower(), None)
+
+    def create_index(self, index_name: str, table_name: str,
+                     column_names: list[str], unique: bool = False):
+        return self.catalog.create_index(index_name, table_name,
+                                         column_names, unique=unique)
+
+    def drop_index(self, index_name: str) -> None:
+        self.catalog.drop_index(index_name)
+
+    def create_view(self, name: str, select_sql: str) -> None:
+        self.catalog.create_view(name, parse_select(select_sql))
+
+    def drop_view(self, name: str) -> None:
+        self.catalog.drop_view(name)
+
+    # -- statistics -----------------------------------------------------------
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """Collect optimizer statistics (full pass, charges a scan)."""
+        names = (
+            [table_name.lower()] if table_name else self.catalog.table_names
+        )
+        for name in names:
+            table = self.catalog.table(name)
+            # ANALYZE reads the whole table once.
+            for _ in table.scan():
+                pass
+            self.stats[name] = analyze(table)
+
+    # -- query execution ---------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> Result:
+        stmt = parse_sql(sql)
+        if isinstance(stmt, SelectStmt):
+            plan = self._plan(stmt)
+            return self._run_plan(plan, params)
+        return self._execute_dml(stmt, params)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        return PreparedStatement(self, sql)
+
+    def explain(self, sql: str) -> str:
+        stmt = parse_sql(sql)
+        if not isinstance(stmt, SelectStmt):
+            return f"DML({sql.strip().split()[0].upper()})"
+        return self._plan(stmt).operator.explain()
+
+    def _plan(self, stmt: SelectStmt) -> PlannedQuery:
+        self.metrics.count("db.plans")
+        self.clock.charge(self.params.plan_cpu_s)
+        return self._planner.plan_select(stmt)
+
+    def _run_plan(self, plan: PlannedQuery, params: Sequence[object]) -> Result:
+        self.metrics.count("db.queries")
+        rows = list(plan.operator.rows(params))
+        return Result(plan.column_names, rows)
+
+    # -- DML -------------------------------------------------------------------
+
+    def _execute_dml(self, stmt, params: Sequence[object]) -> Result:
+        if isinstance(stmt, InsertStmt):
+            return self._run_insert(stmt, params)
+        if isinstance(stmt, DeleteStmt):
+            return self._run_delete(stmt, params)
+        if isinstance(stmt, UpdateStmt):
+            return self._run_update(stmt, params)
+        raise PlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def _run_insert(self, stmt: InsertStmt, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        schema = table.schema
+        count = 0
+        for value_row in stmt.rows:
+            values = [expr.eval((), params) for expr in value_row]
+            if stmt.columns is None:
+                if len(values) != len(schema.columns):
+                    raise PlanError(
+                        f"INSERT width mismatch for {stmt.table}"
+                    )
+                row = tuple(values)
+            else:
+                if len(values) != len(stmt.columns):
+                    raise PlanError("INSERT column/value count mismatch")
+                by_name = {
+                    c.lower(): v for c, v in zip(stmt.columns, values)
+                }
+                row = tuple(
+                    by_name.get(col.name.lower()) for col in schema.columns
+                )
+            table.insert(row)
+            count += 1
+        return Result(["inserted"], [(count,)])
+
+    def _matching_rowids(self, table, where: Expr | None,
+                         params: Sequence[object]) -> list[int]:
+        """Rowids matching WHERE, using an index for simple eq predicates."""
+        if where is None:
+            return [rowid for rowid, _row in table.heap.scan()]
+        schema = OutputSchema(
+            [(table.name, c.name) for c in table.schema.columns]
+        )
+        bind_expr(where, schema)
+        # Index-assisted path: cover a prefix of some index with the
+        # equality conjuncts, then re-check the full predicate.
+        from repro.engine.expr import split_conjuncts
+        from repro.engine.plan.access import eq_sarg_value
+
+        eq_values: dict[str, object] = {}
+        for conjunct in split_conjuncts(where):
+            entry = eq_sarg_value(conjunct)
+            if entry is not None and entry[0] not in eq_values:
+                eq_values[entry[0]] = entry[1]
+        best_index = None
+        best_prefix = 0
+        for index in table.indexes.values():
+            if not hasattr(index, "search_prefix"):
+                continue
+            prefix = 0
+            for column in index.column_names:
+                if column in eq_values:
+                    prefix += 1
+                else:
+                    break
+            if prefix > best_prefix:
+                best_prefix = prefix
+                best_index = index
+        if best_index is not None:
+            key = tuple(
+                eq_values[column].eval((), params)
+                for column in best_index.column_names[:best_prefix]
+            )
+            matches = []
+            for _key, rowid in best_index.search_prefix(key):
+                row = table.fetch_row(rowid)
+                if predicate_holds(where, row, params):
+                    matches.append(rowid)
+            return matches
+        matches = []
+        for rowid, row in table.scan():
+            self.ctx.charge_tuples(1)
+            if predicate_holds(where, row, params):
+                matches.append(rowid)
+        return matches
+
+    def _run_delete(self, stmt: DeleteStmt, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        rowids = self._matching_rowids(table, stmt.where, params)
+        for rowid in rowids:
+            table.delete(rowid)
+        return Result(["deleted"], [(len(rowids),)])
+
+    def _run_update(self, stmt: UpdateStmt, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        schema = OutputSchema(
+            [(table.name, c.name) for c in table.schema.columns]
+        )
+        rowids = self._matching_rowids(table, stmt.where, params)
+        positions = []
+        for assignment in stmt.assignments:
+            positions.append(table.schema.column_index(assignment.column))
+            bind_expr(assignment.value, schema)
+        for rowid in rowids:
+            row = list(table.heap.fetch(rowid))
+            old = tuple(row)
+            for assignment, pos in zip(stmt.assignments, positions):
+                row[pos] = assignment.value.eval(old, params)
+            table.update(rowid, tuple(row))
+        return Result(["updated"], [(len(rowids),)])
+
+    # -- bulk loading ------------------------------------------------------------
+
+    def bulk_load(self, table_name: str, rows: Iterable[tuple]) -> int:
+        """Bulk-load rows (page-at-a-time writes, the fast path SAP's
+        batch input never uses)."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row, bulk=True)
+            count += 1
+        self.metrics.count(f"db.bulk_loaded.{table.name}", count)
+        return count
+
+    # -- storage accounting (the paper's Table 2) ---------------------------------
+
+    def storage_report(self) -> dict[str, dict[str, int]]:
+        """Per-table data and index bytes."""
+        report: dict[str, dict[str, int]] = {}
+        for name in self.catalog.table_names:
+            table = self.catalog.table(name)
+            report[name] = {
+                "rows": table.row_count,
+                "data_bytes": table.data_bytes,
+                "index_bytes": table.index_bytes,
+            }
+        return report
+
+    # -- misc ----------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Simulated seconds elapsed on this database's clock."""
+        return self.clock.now

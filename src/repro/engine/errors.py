@@ -1,0 +1,29 @@
+"""Engine exception hierarchy."""
+
+
+class EngineError(Exception):
+    """Base class for all engine errors."""
+
+
+class SqlSyntaxError(EngineError):
+    """Raised by the lexer/parser on malformed SQL text."""
+
+
+class CatalogError(EngineError):
+    """Unknown or duplicate table/view/index/column."""
+
+
+class PlanError(EngineError):
+    """The planner could not produce a plan (unsupported construct)."""
+
+
+class ExecutionError(EngineError):
+    """Runtime failure while executing a plan."""
+
+
+class TypeError_(EngineError):
+    """Value incompatible with a column's declared SQL type."""
+
+
+class ConstraintError(EngineError):
+    """Primary-key or not-null violation."""

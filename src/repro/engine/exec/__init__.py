@@ -1,0 +1,1 @@
+"""Volcano-style physical operators."""

@@ -1,0 +1,294 @@
+"""Join operators: block nested loop, index nested loop, hash, merge."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.exec.base import ExecContext, Operator
+from repro.engine.exec.sort import sort_rows
+from repro.engine.expr import Expr, OutputSchema, predicate_holds
+from repro.engine.table import Table
+
+
+def _joined_schema(left: Operator, right_schema: OutputSchema) -> OutputSchema:
+    return left.schema.concat(right_schema)
+
+
+class NestedLoopJoin(Operator):
+    """Block nested-loop join with an arbitrary join predicate.
+
+    The inner input is materialized; when it exceeds working memory the
+    outer side is processed in blocks and the inner side re-scanned per
+    block, as a real BNL would re-read the inner relation.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        left: Operator,
+        right: Operator,
+        condition: Expr | None,
+        outer: bool = False,
+    ) -> None:
+        super().__init__(ctx, _joined_schema(left, right.schema))
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.outer = outer
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        inner = list(self.right.rows(params))
+        inner_bytes = len(inner) * self.ctx.row_bytes(len(self.right.schema))
+        rescans_needed = inner_bytes > self.ctx.params.work_mem_bytes
+        null_row = (None,) * len(self.right.schema)
+        outer_count = 0
+        for left_row in self.left.rows(params):
+            outer_count += 1
+            matched = False
+            self.ctx.charge_comparisons(len(inner))
+            for right_row in inner:
+                combined = left_row + right_row
+                if self.condition is None or predicate_holds(
+                        self.condition, combined, params):
+                    matched = True
+                    self.ctx.charge_tuples(1)
+                    yield combined
+            if self.outer and not matched:
+                self.ctx.charge_tuples(1)
+                yield left_row + null_row
+        if rescans_needed and outer_count:
+            # Charge the re-reads a block-sized BNL would have done.
+            block_rows = max(
+                1,
+                self.ctx.params.work_mem_bytes
+                // self.ctx.row_bytes(len(self.left.schema)),
+            )
+            blocks = -(-outer_count // block_rows)
+            self.ctx.charge_spill(inner_bytes * max(0, blocks - 1), "bnl")
+
+    def describe(self) -> str:
+        kind = "LeftOuterNLJoin" if self.outer else "NestedLoopJoin"
+        return kind
+
+    def child_operators(self) -> list[Operator]:
+        return [self.left, self.right]
+
+
+class IndexNestedLoopJoin(Operator):
+    """For each outer row, probe an index on the inner base table.
+
+    ``key_sources`` builds the probe key along the index's key-column
+    prefix; each element is either ``("outer", position)`` — take the
+    value from the outer row — or ``("const", expr)`` — a plan-time
+    constant / parameter / correlated reference.  This lets the probe
+    use composite indexes whose leading columns are bound by equality
+    filters (e.g. SAP's MANDT-first primary keys).
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        left: Operator,
+        inner_table: Table,
+        inner_alias: str | None,
+        index_name: str,
+        key_sources: list[tuple[str, object]],
+        residual: Expr | None = None,
+        inner_filter: Expr | None = None,
+    ) -> None:
+        from repro.engine.exec.scans import table_schema
+
+        inner_schema = table_schema(inner_table, inner_alias)
+        super().__init__(ctx, _joined_schema(left, inner_schema))
+        self.left = left
+        self.inner_table = inner_table
+        self.index = inner_table.indexes[index_name.lower()]
+        self.key_sources = key_sources
+        self.residual = residual
+        self.inner_filter = inner_filter
+
+    def _probe_key(self, left_row: tuple,
+                   params: Sequence[object]) -> tuple | None:
+        key = []
+        for kind, source in self.key_sources:
+            if kind == "outer":
+                value = left_row[source]
+            else:
+                value = source.eval((), params)
+            if value is None:
+                return None
+            key.append(value)
+        return tuple(key)
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        for left_row in self.left.rows(params):
+            key = self._probe_key(left_row, params)
+            if key is None:
+                continue
+            if len(key) == len(self.index.column_names):
+                rowids = self.index.search_eq(key)
+            else:
+                rowids = [r for _k, r in self.index.search_prefix(key)]
+            for rowid in rowids:
+                inner_row = self.inner_table.fetch_row(rowid, sequential=False)
+                if self.inner_filter is not None and not predicate_holds(
+                        self.inner_filter, inner_row, params):
+                    continue
+                combined = left_row + inner_row
+                self.ctx.charge_tuples(1)
+                if self.residual is None or predicate_holds(
+                        self.residual, combined, params):
+                    yield combined
+
+    def describe(self) -> str:
+        return (f"IndexNestedLoopJoin({self.inner_table.name} "
+                f"via {self.index.name})")
+
+    def child_operators(self) -> list[Operator]:
+        return [self.left]
+
+
+class HashJoin(Operator):
+    """Equi-join; builds a hash table on the right input.
+
+    When the build side exceeds working memory, a grace-hash spill of
+    both inputs is charged (write + re-read), as in a classic hybrid
+    hash join.
+    """
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        left: Operator,
+        right: Operator,
+        left_key_positions: list[int],
+        right_key_positions: list[int],
+        residual: Expr | None = None,
+        build_left: bool = False,
+    ) -> None:
+        super().__init__(ctx, _joined_schema(left, right.schema))
+        self.left = left
+        self.right = right
+        self.left_key_positions = left_key_positions
+        self.right_key_positions = right_key_positions
+        self.residual = residual
+        #: the optimizer sets this when the left input is the smaller
+        #: one; output column order is unaffected
+        self.build_left = build_left
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        if self.build_left:
+            build_op, probe_op = self.left, self.right
+            build_keys, probe_keys = (self.left_key_positions,
+                                      self.right_key_positions)
+        else:
+            build_op, probe_op = self.right, self.left
+            build_keys, probe_keys = (self.right_key_positions,
+                                      self.left_key_positions)
+        buckets: dict[tuple, list[tuple]] = {}
+        build_count = 0
+        for row in build_op.rows(params):
+            key = tuple(row[pos] for pos in build_keys)
+            if any(v is None for v in key):
+                continue
+            buckets.setdefault(key, []).append(row)
+            build_count += 1
+        self.ctx.charge_tuples(build_count)
+        build_bytes = build_count * self.ctx.row_bytes(len(build_op.schema))
+        probe_bytes = 0
+        spilling = build_bytes > self.ctx.params.work_mem_bytes
+        if spilling:
+            self.ctx.charge_spill(build_bytes, "hash-build")
+        for probe_row in probe_op.rows(params):
+            probe_bytes += self.ctx.row_bytes(len(probe_op.schema))
+            key = tuple(probe_row[pos] for pos in probe_keys)
+            if any(v is None for v in key):
+                continue
+            self.ctx.charge_tuples(1)
+            for build_row in buckets.get(key, ()):
+                if self.build_left:
+                    combined = build_row + probe_row
+                else:
+                    combined = probe_row + build_row
+                if self.residual is None or predicate_holds(
+                        self.residual, combined, params):
+                    self.ctx.charge_tuples(1)
+                    yield combined
+        if spilling:
+            self.ctx.charge_spill(probe_bytes, "hash-probe")
+
+    def describe(self) -> str:
+        side = "build=left" if self.build_left else "build=right"
+        return f"HashJoin({side})"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.left, self.right]
+
+
+class MergeJoin(Operator):
+    """Sort-merge equi-join (single-key); sorts both inputs first."""
+
+    def __init__(
+        self,
+        ctx: ExecContext,
+        left: Operator,
+        right: Operator,
+        left_key: int,
+        right_key: int,
+        residual: Expr | None = None,
+    ) -> None:
+        super().__init__(ctx, _joined_schema(left, right.schema))
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        left_rows = sort_rows(
+            self.ctx, list(self.left.rows(params)),
+            [(self.left_key, False)], len(self.left.schema),
+        )
+        right_rows = sort_rows(
+            self.ctx, list(self.right.rows(params)),
+            [(self.right_key, False)], len(self.right.schema),
+        )
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lval = left_rows[i][self.left_key]
+            rval = right_rows[j][self.right_key]
+            if lval is None:
+                i += 1
+                continue
+            if rval is None:
+                j += 1
+                continue
+            self.ctx.charge_comparisons(1)
+            if lval < rval:
+                i += 1
+            elif lval > rval:
+                j += 1
+            else:
+                # Emit the cross product of the equal runs.
+                j_end = j
+                while (j_end < len(right_rows)
+                       and right_rows[j_end][self.right_key] == lval):
+                    j_end += 1
+                i_run = i
+                while (i_run < len(left_rows)
+                       and left_rows[i_run][self.left_key] == lval):
+                    for jj in range(j, j_end):
+                        combined = left_rows[i_run] + right_rows[jj]
+                        if self.residual is None or predicate_holds(
+                                self.residual, combined, params):
+                            self.ctx.charge_tuples(1)
+                            yield combined
+                    i_run += 1
+                i = i_run
+                j = j_end
+
+    def describe(self) -> str:
+        return "MergeJoin"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.left, self.right]

@@ -1,0 +1,133 @@
+"""Small plumbing operators: Filter, Project, Distinct, Limit, Rows."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.exec.base import ExecContext, Operator
+from repro.engine.expr import Expr, OutputSchema, predicate_holds
+
+
+class Filter(Operator):
+    def __init__(self, ctx: ExecContext, child: Operator,
+                 predicate: Expr) -> None:
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        for row in self.child.rows(params):
+            self.ctx.charge_tuples(1)
+            if predicate_holds(self.predicate, row, params):
+                yield row
+
+    def describe(self) -> str:
+        return "Filter"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.child]
+
+
+class Project(Operator):
+    def __init__(
+        self,
+        ctx: ExecContext,
+        child: Operator,
+        exprs: list[Expr],
+        names: list[str],
+    ) -> None:
+        super().__init__(ctx, OutputSchema([(None, n) for n in names]))
+        self.child = child
+        self.exprs = exprs
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        for row in self.child.rows(params):
+            self.ctx.charge_tuples(1)
+            yield tuple(expr.eval(row, params) for expr in self.exprs)
+
+    def describe(self) -> str:
+        return f"Project({len(self.exprs)} cols)"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.child]
+
+
+class Distinct(Operator):
+    def __init__(self, ctx: ExecContext, child: Operator) -> None:
+        super().__init__(ctx, child.schema)
+        self.child = child
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows(params):
+            self.ctx.charge_tuples(1)
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.child]
+
+
+class Limit(Operator):
+    def __init__(self, ctx: ExecContext, child: Operator, limit: int) -> None:
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.limit = limit
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        if self.limit <= 0:
+            return
+        emitted = 0
+        for row in self.child.rows(params):
+            yield row
+            emitted += 1
+            if emitted >= self.limit:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.child]
+
+
+class Alias(Operator):
+    """Re-qualify a child's output columns under a new binding name."""
+
+    def __init__(self, ctx: ExecContext, child: Operator, binding: str,
+                 column_names: list[str]) -> None:
+        super().__init__(
+            ctx, OutputSchema([(binding, n) for n in column_names])
+        )
+        self.child = child
+        self.estimated_rows = child.estimated_rows
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        return self.child.rows(params)
+
+    def describe(self) -> str:
+        return f"Alias({self.schema.entries[0][0]})"
+
+    def child_operators(self) -> list[Operator]:
+        return [self.child]
+
+
+class RowsSource(Operator):
+    """Operator over pre-materialized rows (view results, test fixtures)."""
+
+    def __init__(self, ctx: ExecContext, schema: OutputSchema,
+                 rows: list[tuple]) -> None:
+        super().__init__(ctx, schema)
+        self._rows = rows
+
+    def rows(self, params: Sequence[object]) -> Iterator[tuple]:
+        for row in self._rows:
+            self.ctx.charge_tuples(1)
+            yield row
+
+    def describe(self) -> str:
+        return f"RowsSource({len(self._rows)} rows)"

@@ -1,0 +1,744 @@
+"""Expression AST and evaluator.
+
+Expressions are produced by the SQL parser (or constructed directly by
+the R/3 layers), *bound* against an :class:`OutputSchema` that maps
+qualified column names to tuple positions, and then evaluated per row.
+
+NULL is represented as Python ``None`` with SQL three-valued logic:
+comparisons involving NULL yield NULL, AND/OR follow Kleene logic, and
+filter predicates treat NULL as not-satisfied.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Callable, Sequence
+
+from repro.engine.errors import ExecutionError, PlanError
+
+
+class OutputSchema:
+    """Names (optionally qualified) of an operator's output columns.
+
+    ``entries`` is a list of ``(qualifier, name)`` pairs; qualifier may
+    be None.  Resolution is case-insensitive.  An unqualified lookup
+    that matches several entries is ambiguous unless all matches refer
+    to the same position.
+    """
+
+    def __init__(self, entries: Sequence[tuple[str | None, str]]) -> None:
+        self.entries = [
+            (q.lower() if q else None, n.lower()) for q, n in entries
+        ]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def resolve(self, qualifier: str | None, name: str) -> int:
+        """Return the tuple position of a column reference."""
+        name = name.lower()
+        qualifier = qualifier.lower() if qualifier else None
+        matches = [
+            i
+            for i, (q, n) in enumerate(self.entries)
+            if n == name and (qualifier is None or q == qualifier)
+        ]
+        if not matches:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"unknown column {ref}")
+        if len(matches) > 1:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise PlanError(f"ambiguous column {ref}")
+        return matches[0]
+
+    def try_resolve(self, qualifier: str | None, name: str) -> int | None:
+        try:
+            return self.resolve(qualifier, name)
+        except PlanError:
+            return None
+
+    def concat(self, other: "OutputSchema") -> "OutputSchema":
+        return OutputSchema(self.entries + other.entries)
+
+    @property
+    def names(self) -> list[str]:
+        return [n for _, n in self.entries]
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def bind(self, schema: OutputSchema) -> "Expr":
+        """Resolve column references; returns self for chaining."""
+        raise NotImplementedError
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        raise NotImplementedError
+
+    def children(self) -> list["Expr"]:
+        return []
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Literal(Expr):
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def bind(self, schema: OutputSchema) -> "Literal":
+        return self
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class ParamRef(Expr):
+    """A ``?`` parameter marker; ``index`` is its 0-based position."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def bind(self, schema: OutputSchema) -> "ParamRef":
+        return self
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        try:
+            return params[self.index]
+        except IndexError:
+            raise ExecutionError(
+                f"missing value for parameter {self.index + 1}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"ParamRef({self.index})"
+
+
+class CorrelationCell:
+    """Mutable slot carrying the current outer row into a subplan."""
+
+    __slots__ = ("row",)
+
+    def __init__(self) -> None:
+        self.row: tuple = ()
+
+
+class ColumnRef(Expr):
+    def __init__(self, qualifier: str | None, name: str) -> None:
+        self.qualifier = qualifier
+        self.name = name
+        self._position: int | None = None
+        self._outer_cell: CorrelationCell | None = None
+        self._outer_position: int | None = None
+
+    def bind(self, schema: OutputSchema) -> "ColumnRef":
+        self._position = schema.resolve(self.qualifier, self.name)
+        self._outer_cell = None
+        return self
+
+    def bind_or_outer(
+        self,
+        schema: OutputSchema,
+        outer_schema: "OutputSchema | None",
+        cell: "CorrelationCell | None",
+    ) -> bool:
+        """Bind against ``schema``; fall back to the outer query's schema.
+
+        Returns True when the reference turned out to be correlated.
+        A reference already pinned to an outer row (by the planner's
+        correlated-sarg extraction) stays pinned.
+        """
+        if self._outer_cell is not None:
+            return True
+        position = schema.try_resolve(self.qualifier, self.name)
+        if position is not None:
+            self._position = position
+            self._outer_cell = None
+            return False
+        if outer_schema is not None and cell is not None:
+            outer_position = outer_schema.try_resolve(self.qualifier, self.name)
+            if outer_position is not None:
+                self._outer_cell = cell
+                self._outer_position = outer_position
+                return True
+        raise PlanError(f"unknown column {self.display_name}")
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        if self._outer_cell is not None:
+            assert self._outer_position is not None
+            return self._outer_cell.row[self._outer_position]
+        if self._position is None:
+            raise ExecutionError(f"unbound column {self.display_name}")
+        return row[self._position]
+
+    @property
+    def display_name(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.display_name})"
+
+
+class InputRef(Expr):
+    """Direct positional reference (used after planner rewrites)."""
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+
+    def bind(self, schema: OutputSchema) -> "InputRef":
+        return self
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        return row[self.position]
+
+    def __repr__(self) -> str:
+        return f"InputRef({self.position})"
+
+
+def _is_null(value: object) -> bool:
+    return value is None
+
+
+def _compare(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op in ("<>", "!="):
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(f"cannot compare {left!r} {op} {right!r}") from exc
+    raise AssertionError(f"unknown comparison {op}")
+
+
+def _arith(op: str, left: object, right: object) -> object:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left / right
+    except TypeError as exc:
+        raise ExecutionError(f"cannot evaluate {left!r} {op} {right!r}") from exc
+    raise AssertionError(f"unknown arithmetic {op}")
+
+
+class BinOp(Expr):
+    """Binary operator: comparison, arithmetic, AND/OR."""
+
+    COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+    ARITHMETIC = {"+", "-", "*", "/"}
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        self.op = op.upper() if op.upper() in ("AND", "OR") else op
+        self.left = left
+        self.right = right
+
+    def bind(self, schema: OutputSchema) -> "BinOp":
+        self.left = self.left.bind(schema)
+        self.right = self.right.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        op = self.op
+        if op == "AND":
+            left = self.left.eval(row, params)
+            if left is False:
+                return False
+            right = self.right.eval(row, params)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.left.eval(row, params)
+            if left is True:
+                return True
+            right = self.right.eval(row, params)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.left.eval(row, params)
+        right = self.right.eval(row, params)
+        if op in self.COMPARISONS:
+            return _compare(op, left, right)
+        if op in self.ARITHMETIC:
+            return _arith(op, left, right)
+        raise AssertionError(f"unknown operator {op}")
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.left!r} {self.op} {self.right!r})"
+
+
+class NotExpr(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def bind(self, schema: OutputSchema) -> "NotExpr":
+        self.operand = self.operand.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        if value is None:
+            return None
+        return not value
+
+
+class NegExpr(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def bind(self, schema: OutputSchema) -> "NegExpr":
+        self.operand = self.operand.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        if value is None:
+            return None
+        return -value
+
+
+class IsNullExpr(Expr):
+    def __init__(self, operand: Expr, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def bind(self, schema: OutputSchema) -> "IsNullExpr":
+        self.operand = self.operand.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        is_null = self.operand.eval(row, params) is None
+        return not is_null if self.negated else is_null
+
+
+class BetweenExpr(Expr):
+    def __init__(self, operand: Expr, low: Expr, high: Expr,
+                 negated: bool = False) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def bind(self, schema: OutputSchema) -> "BetweenExpr":
+        self.operand = self.operand.bind(schema)
+        self.low = self.low.bind(schema)
+        self.high = self.high.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.low, self.high]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        low = self.low.eval(row, params)
+        high = self.high.eval(row, params)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if self.negated else result
+
+
+class InListExpr(Expr):
+    def __init__(self, operand: Expr, items: list[Expr],
+                 negated: bool = False) -> None:
+        self.operand = operand
+        self.items = items
+        self.negated = negated
+
+    def bind(self, schema: OutputSchema) -> "InListExpr":
+        self.operand = self.operand.bind(schema)
+        self.items = [item.bind(schema) for item in self.items]
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand, *self.items]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        if value is None:
+            return None
+        saw_null = False
+        for item in self.items:
+            candidate = item.eval(row, params)
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if self.negated else True
+        if saw_null:
+            return None
+        return True if self.negated else False
+
+
+def like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Compile a SQL LIKE pattern (``%``, ``_``) to an anchored regex."""
+    out = ["^"]
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    out.append("$")
+    return re.compile("".join(out), re.DOTALL)
+
+
+class LikeExpr(Expr):
+    def __init__(self, operand: Expr, pattern: Expr,
+                 negated: bool = False) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._compiled: re.Pattern[str] | None = None
+        if isinstance(pattern, Literal) and isinstance(pattern.value, str):
+            self._compiled = like_to_regex(pattern.value)
+
+    def bind(self, schema: OutputSchema) -> "LikeExpr":
+        self.operand = self.operand.bind(schema)
+        self.pattern = self.pattern.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand, self.pattern]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        if value is None:
+            return None
+        if self._compiled is not None:
+            regex = self._compiled
+        else:
+            pattern = self.pattern.eval(row, params)
+            if pattern is None:
+                return None
+            regex = like_to_regex(pattern)
+        matched = regex.match(value) is not None
+        return not matched if self.negated else matched
+
+
+class CaseExpr(Expr):
+    """Searched CASE: WHEN cond THEN value ... [ELSE value] END."""
+
+    def __init__(self, branches: list[tuple[Expr, Expr]],
+                 default: Expr | None) -> None:
+        self.branches = branches
+        self.default = default
+
+    def bind(self, schema: OutputSchema) -> "CaseExpr":
+        self.branches = [
+            (cond.bind(schema), value.bind(schema))
+            for cond, value in self.branches
+        ]
+        if self.default is not None:
+            self.default = self.default.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        out: list[Expr] = []
+        for cond, value in self.branches:
+            out.extend((cond, value))
+        if self.default is not None:
+            out.append(self.default)
+        return out
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        for cond, value in self.branches:
+            if cond.eval(row, params) is True:
+                return value.eval(row, params)
+        if self.default is not None:
+            return self.default.eval(row, params)
+        return None
+
+
+class ExtractExpr(Expr):
+    """EXTRACT(YEAR|MONTH|DAY FROM date_expr)."""
+
+    FIELDS = ("YEAR", "MONTH", "DAY")
+
+    def __init__(self, field: str, operand: Expr) -> None:
+        field = field.upper()
+        if field not in self.FIELDS:
+            raise PlanError(f"unsupported EXTRACT field {field}")
+        self.field = field
+        self.operand = operand
+
+    def bind(self, schema: OutputSchema) -> "ExtractExpr":
+        self.operand = self.operand.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.operand.eval(row, params)
+        if value is None:
+            return None
+        if not isinstance(value, datetime.date):
+            raise ExecutionError(f"EXTRACT from non-date {value!r}")
+        if self.field == "YEAR":
+            return value.year
+        if self.field == "MONTH":
+            return value.month
+        return value.day
+
+
+class IntervalLiteral(Expr):
+    """INTERVAL 'n' DAY|MONTH|YEAR — only usable with +/- on dates."""
+
+    UNITS = ("DAY", "MONTH", "YEAR")
+
+    def __init__(self, amount: int, unit: str) -> None:
+        unit = unit.upper().rstrip("S")
+        if unit not in self.UNITS:
+            raise PlanError(f"unsupported interval unit {unit}")
+        self.amount = amount
+        self.unit = unit
+
+    def bind(self, schema: OutputSchema) -> "IntervalLiteral":
+        return self
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        return self
+
+    def add_to(self, date: datetime.date, sign: int) -> datetime.date:
+        amount = self.amount * sign
+        if self.unit == "DAY":
+            return date + datetime.timedelta(days=amount)
+        if self.unit == "MONTH":
+            month0 = date.month - 1 + amount
+            year = date.year + month0 // 12
+            month = month0 % 12 + 1
+            day = min(date.day, _days_in_month(year, month))
+            return datetime.date(year, month, day)
+        year = date.year + amount
+        day = min(date.day, _days_in_month(year, date.month))
+        return datetime.date(year, date.month, day)
+
+
+def _days_in_month(year: int, month: int) -> int:
+    if month == 12:
+        return 31
+    first_next = datetime.date(year + (month == 12), month % 12 + 1, 1)
+    return (first_next - datetime.timedelta(days=1)).day
+
+
+class DateArithExpr(Expr):
+    """date ± interval (produced by the parser for +/- with intervals)."""
+
+    def __init__(self, date_expr: Expr, interval: IntervalLiteral,
+                 sign: int) -> None:
+        self.date_expr = date_expr
+        self.interval = interval
+        self.sign = sign
+
+    def bind(self, schema: OutputSchema) -> "DateArithExpr":
+        self.date_expr = self.date_expr.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.date_expr]
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        value = self.date_expr.eval(row, params)
+        if value is None:
+            return None
+        if not isinstance(value, datetime.date):
+            raise ExecutionError(f"interval arithmetic on non-date {value!r}")
+        return self.interval.add_to(value, self.sign)
+
+
+class FuncCall(Expr):
+    """Scalar function call (SUBSTRING, UPPER, LOWER, ABS, ROUND)."""
+
+    def __init__(self, name: str, args: list[Expr]) -> None:
+        self.name = name.upper()
+        self.args = args
+
+    def bind(self, schema: OutputSchema) -> "FuncCall":
+        self.args = [arg.bind(schema) for arg in self.args]
+        return self
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        values = [arg.eval(row, params) for arg in self.args]
+        if any(v is None for v in values):
+            return None
+        name = self.name
+        if name == "SUBSTRING":
+            text, start = values[0], int(values[1])
+            length = int(values[2]) if len(values) > 2 else None
+            begin = start - 1
+            if length is None:
+                return text[begin:]
+            return text[begin:begin + length]
+        if name == "UPPER":
+            return values[0].upper()
+        if name == "LOWER":
+            return values[0].lower()
+        if name == "ABS":
+            return abs(values[0])
+        if name == "ROUND":
+            digits = int(values[1]) if len(values) > 1 else 0
+            return round(values[0], digits)
+        if name == "CONCAT":
+            return "".join(str(v) for v in values)
+        raise ExecutionError(f"unknown function {name}")
+
+
+class AggCall(Expr):
+    """Aggregate function reference inside a SELECT/HAVING expression.
+
+    The planner extracts these, computes them in the aggregation
+    operator, and replaces them with :class:`InputRef`s; evaluating an
+    unrewritten AggCall is a planner bug.
+    """
+
+    FUNCTIONS = ("SUM", "AVG", "COUNT", "MIN", "MAX")
+
+    def __init__(self, func: str, arg: Expr | None,
+                 distinct: bool = False) -> None:
+        func = func.upper()
+        if func not in self.FUNCTIONS:
+            raise PlanError(f"unknown aggregate {func}")
+        self.func = func
+        self.arg = arg  # None means COUNT(*)
+        self.distinct = distinct
+
+    def bind(self, schema: OutputSchema) -> "AggCall":
+        if self.arg is not None:
+            self.arg = self.arg.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.arg] if self.arg is not None else []
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        raise ExecutionError(
+            f"aggregate {self.func} evaluated outside aggregation"
+        )
+
+    def __repr__(self) -> str:
+        inner = "*" if self.arg is None else repr(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"AggCall({self.func}({prefix}{inner}))"
+
+
+class SubqueryExpr(Expr):
+    """Scalar / EXISTS / IN subquery.
+
+    The parser stores the raw subquery AST in ``query``; the planner
+    compiles it and installs ``executor``: a callable
+    ``(outer_row, params) -> value`` (scalar/exists) or an iterable of
+    values (IN).  ``mode`` is one of ``scalar``, ``exists``, ``in``.
+    """
+
+    MODES = ("scalar", "exists", "in")
+
+    def __init__(self, query: object, mode: str,
+                 operand: Expr | None = None, negated: bool = False) -> None:
+        if mode not in self.MODES:
+            raise PlanError(f"bad subquery mode {mode}")
+        self.query = query
+        self.mode = mode
+        self.operand = operand
+        self.negated = negated
+        self.executor: Callable[[tuple, Sequence[object]], object] | None = None
+
+    def bind(self, schema: OutputSchema) -> "SubqueryExpr":
+        if self.operand is not None:
+            self.operand = self.operand.bind(schema)
+        return self
+
+    def children(self) -> list[Expr]:
+        return [self.operand] if self.operand is not None else []
+
+    def eval(self, row: tuple, params: Sequence[object]) -> object:
+        if self.executor is None:
+            raise ExecutionError("subquery was never compiled by the planner")
+        if self.mode == "scalar":
+            return self.executor(row, params)
+        if self.mode == "exists":
+            found = bool(self.executor(row, params))
+            return not found if self.negated else found
+        # IN subquery
+        value = self.operand.eval(row, params) if self.operand else None
+        if value is None:
+            return None
+        values = self.executor(row, params)
+        saw_null = False
+        for candidate in values:
+            if candidate is None:
+                saw_null = True
+            elif candidate == value:
+                return False if self.negated else True
+        if saw_null:
+            return None
+        return True if self.negated else False
+
+
+def predicate_holds(expr: Expr, row: tuple,
+                    params: Sequence[object]) -> bool:
+    """SQL filter semantics: NULL counts as not-satisfied."""
+    return expr.eval(row, params) is True
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[Expr]) -> Expr | None:
+    """Rebuild a single predicate from conjuncts (None when empty)."""
+    result: Expr | None = None
+    for conjunct in conjuncts:
+        result = conjunct if result is None else BinOp("AND", result, conjunct)
+    return result

@@ -1,0 +1,348 @@
+"""B-tree and hash indexes.
+
+The B-tree is modelled as a sorted array of ``(key, rowid)`` entries
+with page-accurate accounting: entries-per-page follows from the key
+byte width, traversals charge upper-level page touches through the
+buffer pool, and leaf walks charge one (mostly cached) page per
+``entries_per_page`` entries.  Fetching the *heap* rows an index scan
+produces is the caller's job — that is where the paper's Table 6
+random-I/O trap lives.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterator
+
+from repro.engine.buffer import BufferPool
+from repro.engine.errors import ExecutionError
+from repro.engine.schema import TableSchema
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector
+
+#: bytes per entry beyond the key itself (rowid + slot overhead)
+ENTRY_OVERHEAD_BYTES = 8
+
+# Sortable wrapper so NULL keys order before everything else.
+_NULL_KEY = (0, 0)
+
+
+def _sortable(value: object) -> tuple:
+    if value is None:
+        return _NULL_KEY
+    return (1, value)
+
+
+def make_key(values: tuple) -> tuple:
+    """Build a total-order-safe key tuple from column values."""
+    return tuple(_sortable(v) for v in values)
+
+
+class BTreeIndex:
+    """Ordered index over one or more columns of a table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        column_names: list[str],
+        unique: bool,
+        buffer_pool: BufferPool,
+        clock: SimulatedClock,
+        metrics: MetricsCollector,
+        traverse_cpu_s: float,
+        page_size_bytes: int,
+    ) -> None:
+        self.name = name
+        self.table_name = schema.name
+        self.column_names = [c.lower() for c in column_names]
+        self.column_positions = [schema.column_index(c) for c in column_names]
+        self.unique = unique
+        self._buffer = buffer_pool
+        self._clock = clock
+        self._metrics = metrics
+        self._traverse_cpu_s = traverse_cpu_s
+        key_bytes = sum(
+            schema.columns[pos].byte_width for pos in self.column_positions
+        )
+        self.entry_byte_width = key_bytes + ENTRY_OVERHEAD_BYTES
+        self.entries_per_page = max(2, page_size_bytes // self.entry_byte_width)
+        # Parallel arrays: sort keys and (key, rowid) payloads.
+        self._keys: list[tuple] = []
+        self._entries: list[tuple[tuple, int]] = []
+        self._bulk_pending = 0
+
+    # -- key helpers ----------------------------------------------------
+
+    def key_of_row(self, row: tuple) -> tuple:
+        return make_key(tuple(row[pos] for pos in self.column_positions))
+
+    # -- maintenance -----------------------------------------------------
+
+    def insert(self, row: tuple, rowid: int, bulk: bool = False) -> None:
+        key = self.key_of_row(row)
+        pos = bisect.bisect_left(self._keys, (key, rowid))
+        if self.unique:
+            probe = bisect.bisect_left(self._keys, (key, -1))
+            if probe < len(self._keys) and self._entries[probe][0] == key:
+                if key != (_NULL_KEY,) * len(self.column_positions):
+                    raise ExecutionError(
+                        f"unique index {self.name} violated for key {key}"
+                    )
+        self._keys.insert(pos, (key, rowid))
+        self._entries.insert(pos, (key, rowid))
+        if bulk:
+            # Deferred index build: page writes amortise over a full
+            # leaf, as a bulk loader's sort-and-build pass would.
+            self._bulk_pending += 1
+            if self._bulk_pending >= self.entries_per_page:
+                self._bulk_pending = 0
+                self._buffer.write(self._file_name,
+                                   self._leaf_page(pos), fresh=True)
+            return
+        self._charge_traverse()
+        self._buffer.write(self._file_name, self._leaf_page(pos))
+
+    def delete(self, row: tuple, rowid: int) -> None:
+        key = self.key_of_row(row)
+        pos = bisect.bisect_left(self._keys, (key, rowid))
+        if pos >= len(self._keys) or self._keys[pos] != (key, rowid):
+            raise ExecutionError(
+                f"index {self.name}: missing entry for rowid {rowid}"
+            )
+        del self._keys[pos]
+        del self._entries[pos]
+        self._charge_traverse()
+        self._buffer.write(self._file_name, self._leaf_page(pos))
+
+    # -- lookups -----------------------------------------------------------
+
+    def search_eq(self, values: tuple) -> list[int]:
+        """Rowids whose key equals ``values`` (full-key match)."""
+        key = make_key(values)
+        self._charge_traverse()
+        lo = bisect.bisect_left(self._keys, (key, -1))
+        out: list[int] = []
+        touched_pages: set[int] = set()
+        idx = lo
+        while idx < len(self._entries) and self._entries[idx][0] == key:
+            page = self._leaf_page(idx)
+            if page not in touched_pages:
+                touched_pages.add(page)
+                self._buffer.access(self._file_name, page, sequential=True)
+            out.append(self._entries[idx][1])
+            idx += 1
+        if not touched_pages:
+            self._buffer.access(
+                self._file_name, self._leaf_page(min(lo, max(len(self._keys) - 1, 0))),
+                sequential=False,
+            )
+        self._metrics.count("index.eq_lookups")
+        return out
+
+    def search_prefix(self, values: tuple) -> Iterator[tuple[tuple, int]]:
+        """All entries whose key starts with ``values`` (prefix match)."""
+        prefix = make_key(values)
+        self._charge_traverse()
+        lo = bisect.bisect_left(self._keys, (prefix, -1))
+        self._metrics.count("index.prefix_scans")
+        yield from self._walk_leaves_while(
+            lo, lambda key: key[: len(prefix)] == prefix
+        )
+
+    def search_range(
+        self,
+        low: tuple | None,
+        high: tuple | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[tuple, int]]:
+        """Entries with ``low <= key <= high`` on the first key column.
+
+        ``low``/``high`` are single-column value tuples; None means
+        unbounded on that side.
+        """
+        self._charge_traverse()
+        self._metrics.count("index.range_scans")
+        if low is not None:
+            low_key = make_key(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._keys, (low_key, -1))
+            else:
+                start = self._advance_past(low_key)
+        else:
+            start = self._first_non_null()
+        high_key = make_key(high) if high is not None else None
+
+        def in_range(key: tuple) -> bool:
+            if high_key is None:
+                return True
+            head = key[: len(high_key)]
+            if high_inclusive:
+                return head <= high_key
+            return head < high_key
+
+        yield from self._walk_leaves_while(start, in_range)
+
+    def scan_all(self) -> Iterator[tuple[tuple, int]]:
+        """Full leaf walk in key order (sequential page charges)."""
+        self._charge_traverse()
+        yield from self._walk_leaves_while(0, lambda key: True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _advance_past(self, low_key: tuple) -> int:
+        idx = bisect.bisect_left(self._keys, (low_key, -1))
+        while idx < len(self._entries) and \
+                self._entries[idx][0][: len(low_key)] == low_key:
+            idx += 1
+        return idx
+
+    def _first_non_null(self) -> int:
+        # Unbounded-low scans include NULL keys (they sort first); the
+        # executor's predicate re-check filters them out where needed.
+        return 0
+
+    def _walk_leaves_while(self, start: int, predicate) -> Iterator[tuple[tuple, int]]:
+        touched_page = -1
+        for idx in range(start, len(self._entries)):
+            key, rowid = self._entries[idx]
+            if not predicate(key):
+                break
+            page = self._leaf_page(idx)
+            if page != touched_page:
+                touched_page = page
+                self._buffer.access(self._file_name, page, sequential=True)
+            yield key, rowid
+
+    def _leaf_page(self, position: int) -> int:
+        return position // self.entries_per_page
+
+    def _charge_traverse(self) -> None:
+        self._clock.charge(self._traverse_cpu_s)
+        height = self.height
+        # Touch the non-leaf levels (root is level 1); these are small
+        # and almost always buffer-resident.
+        for level in range(max(0, height - 1)):
+            self._buffer.access(self._file_name, -(level + 1), sequential=False)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def leaf_page_count(self) -> int:
+        if not self._entries:
+            return 0
+        return -(-len(self._entries) // self.entries_per_page)
+
+    @property
+    def page_count(self) -> int:
+        """Leaf pages plus the (geometric) upper levels."""
+        leaves = self.leaf_page_count
+        total = leaves
+        level = leaves
+        while level > 1:
+            level = -(-level // self.entries_per_page)
+            total += level
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._entries) * self.entry_byte_width
+
+    @property
+    def height(self) -> int:
+        if not self._entries:
+            return 1
+        return 1 + max(
+            0, math.ceil(math.log(max(self.leaf_page_count, 1), self.entries_per_page))
+        )
+
+    @property
+    def _file_name(self) -> str:
+        return f"idx:{self.name}"
+
+
+class HashIndex:
+    """Equality-only index (kept for completeness; catalog may create it)."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        column_names: list[str],
+        unique: bool,
+        buffer_pool: BufferPool,
+        clock: SimulatedClock,
+        metrics: MetricsCollector,
+        traverse_cpu_s: float,
+        page_size_bytes: int,
+    ) -> None:
+        self.name = name
+        self.table_name = schema.name
+        self.column_names = [c.lower() for c in column_names]
+        self.column_positions = [schema.column_index(c) for c in column_names]
+        self.unique = unique
+        self._buffer = buffer_pool
+        self._clock = clock
+        self._metrics = metrics
+        self._traverse_cpu_s = traverse_cpu_s
+        key_bytes = sum(
+            schema.columns[pos].byte_width for pos in self.column_positions
+        )
+        self.entry_byte_width = key_bytes + ENTRY_OVERHEAD_BYTES
+        self.entries_per_page = max(2, page_size_bytes // self.entry_byte_width)
+        self._buckets: dict[tuple, list[int]] = {}
+        self._count = 0
+
+    def key_of_row(self, row: tuple) -> tuple:
+        return tuple(row[pos] for pos in self.column_positions)
+
+    def insert(self, row: tuple, rowid: int, bulk: bool = False) -> None:
+        key = self.key_of_row(row)
+        bucket = self._buckets.setdefault(key, [])
+        if self.unique and bucket:
+            raise ExecutionError(f"unique hash index {self.name} violated")
+        bucket.append(rowid)
+        self._count += 1
+        if bulk and self._count % self.entries_per_page:
+            return
+        self._buffer.write(self._file_name, hash(key) % 1024,
+                           fresh=bulk)
+
+    def delete(self, row: tuple, rowid: int) -> None:
+        key = self.key_of_row(row)
+        bucket = self._buckets.get(key)
+        if not bucket or rowid not in bucket:
+            raise ExecutionError(f"hash index {self.name}: missing {rowid}")
+        bucket.remove(rowid)
+        self._count -= 1
+        self._buffer.write(self._file_name, hash(key) % 1024)
+
+    def search_eq(self, values: tuple) -> list[int]:
+        self._clock.charge(self._traverse_cpu_s)
+        self._metrics.count("index.eq_lookups")
+        self._buffer.access(self._file_name, hash(values) % 1024, sequential=False)
+        return list(self._buckets.get(tuple(values), []))
+
+    @property
+    def entry_count(self) -> int:
+        return self._count
+
+    @property
+    def size_bytes(self) -> int:
+        return self._count * self.entry_byte_width
+
+    @property
+    def page_count(self) -> int:
+        if not self._count:
+            return 0
+        return -(-self._count // self.entries_per_page)
+
+    @property
+    def _file_name(self) -> str:
+        return f"idx:{self.name}"

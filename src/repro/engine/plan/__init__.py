@@ -1,0 +1,5 @@
+"""Logical planning and cost-based optimization."""
+
+from repro.engine.plan.planner import Planner
+
+__all__ = ["Planner"]

@@ -1,0 +1,74 @@
+"""Expression binding with correlation and subquery hooks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.expr import (
+    ColumnRef,
+    CorrelationCell,
+    Expr,
+    OutputSchema,
+    SubqueryExpr,
+)
+
+SubqueryCompiler = Callable[[SubqueryExpr, OutputSchema], None]
+
+
+def bind_expr(
+    expr: Expr,
+    schema: OutputSchema,
+    compile_subquery: SubqueryCompiler | None = None,
+    outer_schema: OutputSchema | None = None,
+    cell: CorrelationCell | None = None,
+) -> bool:
+    """Bind every column reference in ``expr`` against ``schema``.
+
+    References not found in ``schema`` fall back to ``outer_schema``
+    (becoming correlated references through ``cell``).  Embedded
+    subqueries are handed to ``compile_subquery`` with the schema they
+    correlate against.  Returns True if any reference was correlated.
+    """
+    correlated = False
+    for node in expr.walk():
+        if isinstance(node, ColumnRef):
+            if node.bind_or_outer(schema, outer_schema, cell):
+                correlated = True
+        elif isinstance(node, SubqueryExpr):
+            if node.executor is None:
+                if compile_subquery is None:
+                    raise RuntimeError(
+                        "subquery encountered without a compiler"
+                    )
+                compile_subquery(node, schema)
+    return correlated
+
+
+def referenced_bindings(expr: Expr, schemas: dict[str, OutputSchema]) -> set[str]:
+    """Which FROM bindings does ``expr`` reference?
+
+    ``schemas`` maps binding name -> that relation's schema.  Used by
+    the planner to classify WHERE conjuncts before any binding happens.
+    Unresolvable references return the special marker ``"?"`` so callers
+    can route the conjunct to the post-join/correlated bucket.
+    """
+    out: set[str] = set()
+    for node in expr.walk():
+        if isinstance(node, SubqueryExpr):
+            out.add("?")
+        if not isinstance(node, ColumnRef):
+            continue
+        found = None
+        for binding, schema in schemas.items():
+            if node.qualifier is not None:
+                if node.qualifier.lower() == binding and \
+                        schema.try_resolve(None, node.name) is not None:
+                    found = binding
+                    break
+            elif schema.try_resolve(None, node.name) is not None:
+                if found is not None:
+                    found = "?"  # ambiguous: defer to real binding
+                    break
+                found = binding
+        out.add(found if found is not None else "?")
+    return out

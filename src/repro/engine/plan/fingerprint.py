@@ -1,0 +1,87 @@
+"""Structural fingerprints for bound expressions.
+
+Used to recognise that a SELECT item (or ORDER BY / HAVING term) is the
+same expression as a GROUP BY key so it can be replaced by a positional
+reference into the aggregation output.
+"""
+
+from __future__ import annotations
+
+from repro.engine.errors import PlanError
+from repro.engine.expr import (
+    AggCall,
+    BetweenExpr,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    DateArithExpr,
+    Expr,
+    ExtractExpr,
+    FuncCall,
+    InListExpr,
+    InputRef,
+    IntervalLiteral,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NegExpr,
+    NotExpr,
+    ParamRef,
+    SubqueryExpr,
+)
+
+
+def fingerprint(expr: Expr) -> tuple:
+    """Hashable structural key for a *bound* expression."""
+    if isinstance(expr, ColumnRef):
+        if expr._outer_cell is not None:
+            return ("outercol", expr._outer_position)
+        return ("col", expr._position)
+    if isinstance(expr, InputRef):
+        return ("col", expr.position)
+    if isinstance(expr, Literal):
+        return ("lit", expr.value)
+    if isinstance(expr, ParamRef):
+        return ("param", expr.index)
+    if isinstance(expr, BinOp):
+        return ("bin", expr.op, fingerprint(expr.left),
+                fingerprint(expr.right))
+    if isinstance(expr, NotExpr):
+        return ("not", fingerprint(expr.operand))
+    if isinstance(expr, NegExpr):
+        return ("neg", fingerprint(expr.operand))
+    if isinstance(expr, IsNullExpr):
+        return ("isnull", expr.negated, fingerprint(expr.operand))
+    if isinstance(expr, BetweenExpr):
+        return ("between", expr.negated, fingerprint(expr.operand),
+                fingerprint(expr.low), fingerprint(expr.high))
+    if isinstance(expr, InListExpr):
+        return ("inlist", expr.negated, fingerprint(expr.operand),
+                tuple(fingerprint(i) for i in expr.items))
+    if isinstance(expr, LikeExpr):
+        return ("like", expr.negated, fingerprint(expr.operand),
+                fingerprint(expr.pattern))
+    if isinstance(expr, CaseExpr):
+        branches = tuple(
+            (fingerprint(c), fingerprint(v)) for c, v in expr.branches
+        )
+        default = fingerprint(expr.default) if expr.default else None
+        return ("case", branches, default)
+    if isinstance(expr, ExtractExpr):
+        return ("extract", expr.field, fingerprint(expr.operand))
+    if isinstance(expr, IntervalLiteral):
+        return ("interval", expr.amount, expr.unit)
+    if isinstance(expr, DateArithExpr):
+        return ("datearith", expr.sign, fingerprint(expr.date_expr),
+                fingerprint(IntervalLiteral(expr.interval.amount,
+                                            expr.interval.unit)))
+    if isinstance(expr, FuncCall):
+        return ("fn", expr.name, tuple(fingerprint(a) for a in expr.args))
+    if isinstance(expr, AggCall):
+        arg = fingerprint(expr.arg) if expr.arg is not None else None
+        return ("agg", expr.func, expr.distinct, arg)
+    if isinstance(expr, SubqueryExpr):
+        # Subqueries are identified by node identity; two textual twins
+        # are treated as distinct (safe, just misses a dedup).
+        return ("subq", id(expr))
+    raise PlanError(f"cannot fingerprint {type(expr).__name__}")

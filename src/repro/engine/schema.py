@@ -1,0 +1,89 @@
+"""Table schemas: columns, keys, and row width accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.errors import CatalogError
+from repro.engine.types import SqlType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column; ``nullable`` defaults to True."""
+
+    name: str
+    sql_type: SqlType
+    nullable: bool = True
+
+    @property
+    def byte_width(self) -> int:
+        return self.sql_type.byte_width
+
+
+# Per-row storage overhead (slot pointer + row header), in bytes.
+ROW_OVERHEAD_BYTES = 8
+
+
+@dataclass
+class TableSchema:
+    """Schema of one physical table.
+
+    ``primary_key`` lists column names forming the primary key; an empty
+    list means no primary key (allowed for e.g. staging tables).
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            lowered = col.name.lower()
+            if lowered in seen:
+                raise CatalogError(f"duplicate column {col.name} in {self.name}")
+            seen.add(lowered)
+        for key_col in self.primary_key:
+            if not self.has_column(key_col):
+                raise CatalogError(
+                    f"primary key column {key_col} not in table {self.name}"
+                )
+        self._index_by_name = {
+            col.name.lower(): i for i, col in enumerate(self.columns)
+        }
+
+    # -- lookups -------------------------------------------------------
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in {c.name.lower() for c in self.columns}
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index_by_name[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no column {name} in table {self.name}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    # -- storage accounting ---------------------------------------------
+
+    @property
+    def row_byte_width(self) -> int:
+        """On-disk bytes per row including per-row overhead."""
+        return sum(c.byte_width for c in self.columns) + ROW_OVERHEAD_BYTES
+
+    def validate_row(self, row: tuple) -> tuple:
+        """Type-check and coerce a full-width row tuple."""
+        if len(row) != len(self.columns):
+            raise CatalogError(
+                f"row width {len(row)} != {len(self.columns)} for {self.name}"
+            )
+        return tuple(
+            col.sql_type.validate(value) for col, value in zip(self.columns, row)
+        )

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, parser for a practical SQL-92 subset."""
+
+from repro.engine.sql.parser import parse_sql
+
+__all__ = ["parse_sql"]

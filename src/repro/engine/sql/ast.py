@@ -1,0 +1,96 @@
+"""Parsed-statement AST.
+
+These nodes are deliberately dumb containers; the planner
+(:mod:`repro.engine.plan`) does all semantic work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.expr import Expr
+
+
+@dataclass
+class TableRef:
+    """A base table or view reference in FROM."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass
+class JoinRef:
+    """Explicit ``left JOIN right ON condition`` (SQL-92 style)."""
+
+    left: "FromItem"
+    right: "FromItem"
+    condition: Expr
+    outer: bool = False  # True for LEFT OUTER JOIN
+
+
+FromItem = TableRef | JoinRef
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem | Star]
+    from_items: list[FromItem]
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    columns: list[str] | None
+    rows: list[list[Expr]]
+
+
+@dataclass
+class DeleteStmt:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass
+class Assignment:
+    column: str
+    value: Expr
+
+
+@dataclass
+class UpdateStmt:
+    table: str
+    assignments: list[Assignment]
+    where: Expr | None = None
+
+
+Statement = SelectStmt | InsertStmt | DeleteStmt | UpdateStmt

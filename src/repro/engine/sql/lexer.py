@@ -1,0 +1,125 @@
+"""SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "AS", "AND", "OR", "NOT", "IN",
+    "BETWEEN", "LIKE", "IS", "NULL", "EXISTS", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "JOIN", "INNER", "LEFT", "OUTER", "ON", "INSERT",
+    "INTO", "VALUES", "DELETE", "UPDATE", "SET", "DATE", "INTERVAL",
+    "EXTRACT", "YEAR", "MONTH", "DAY", "COUNT", "SUM", "AVG", "MIN",
+    "MAX", "TRUE", "FALSE",
+}
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    PARAM = "PARAM"
+    EOF = "EOF"
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.value in words
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "||")
+_PUNCT = "(),."
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch.isspace():
+            pos += 1
+            continue
+        if text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            end = pos + 1
+            chunks: list[str] = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError(f"unterminated string at {pos}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append(text[pos + 1:end + 1])
+                        pos = end + 1
+                        end = pos + 1
+                        continue
+                    break
+                end += 1
+            chunks.append(text[pos + 1:end])
+            value = "".join(chunks).replace("''", "'")
+            tokens.append(Token(TokenKind.STRING, value, pos))
+            pos = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length
+                            and text[pos + 1].isdigit()):
+            end = pos
+            saw_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not saw_dot)):
+                if text[end] == ".":
+                    # Don't eat a trailing period that isn't a decimal.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    saw_dot = True
+                end += 1
+            tokens.append(Token(TokenKind.NUMBER, text[pos:end], pos))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, pos))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, pos))
+            pos = end
+            continue
+        if ch == "?":
+            tokens.append(Token(TokenKind.PARAM, "?", pos))
+            pos += 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(TokenKind.OPERATOR, op, pos))
+                pos += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, pos))
+            pos += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at {pos}")
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

@@ -1,0 +1,523 @@
+"""Recursive-descent SQL parser.
+
+Produces :mod:`repro.engine.sql.ast` statements containing
+:mod:`repro.engine.expr` expression trees.  Subqueries become
+:class:`~repro.engine.expr.SubqueryExpr` nodes holding the nested
+:class:`~repro.engine.sql.ast.SelectStmt` for the planner to compile.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.expr import (
+    AggCall,
+    BetweenExpr,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    DateArithExpr,
+    Expr,
+    ExtractExpr,
+    FuncCall,
+    InListExpr,
+    IntervalLiteral,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NegExpr,
+    NotExpr,
+    ParamRef,
+    SubqueryExpr,
+)
+from repro.engine.sql.ast import (
+    Assignment,
+    DeleteStmt,
+    FromItem,
+    InsertStmt,
+    JoinRef,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+    Statement,
+    TableRef,
+    UpdateStmt,
+)
+from repro.engine.sql.lexer import Token, TokenKind, tokenize
+
+_AGG_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(text).parse_statement()
+
+
+def parse_select(text: str) -> SelectStmt:
+    """Parse text that must be a SELECT (view bodies, subreports)."""
+    stmt = parse_sql(text)
+    if not isinstance(stmt, SelectStmt):
+        raise SqlSyntaxError("expected a SELECT statement")
+    return stmt
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        return self._current.is_keyword(*words)
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._check_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, got {self._current.value!r} "
+                f"at {self._current.position}"
+            )
+
+    def _accept_punct(self, ch: str) -> bool:
+        token = self._current
+        if token.kind is TokenKind.PUNCT and token.value == ch:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, ch: str) -> None:
+        if not self._accept_punct(ch):
+            raise SqlSyntaxError(
+                f"expected {ch!r}, got {self._current.value!r} "
+                f"at {self._current.position}"
+            )
+
+    def _accept_operator(self, *ops: str) -> str | None:
+        token = self._current
+        if token.kind is TokenKind.OPERATOR and token.value in ops:
+            self._advance()
+            return token.value
+        return None
+
+    def _expect_ident(self) -> str:
+        token = self._current
+        if token.kind is not TokenKind.IDENT:
+            raise SqlSyntaxError(
+                f"expected identifier, got {token.value!r} at {token.position}"
+            )
+        self._advance()
+        return token.value
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self._check_keyword("SELECT"):
+            stmt: Statement = self._parse_select()
+        elif self._check_keyword("INSERT"):
+            stmt = self._parse_insert()
+        elif self._check_keyword("DELETE"):
+            stmt = self._parse_delete()
+        elif self._check_keyword("UPDATE"):
+            stmt = self._parse_update()
+        else:
+            raise SqlSyntaxError(
+                f"unsupported statement start {self._current.value!r}"
+            )
+        if self._current.kind is not TokenKind.EOF:
+            raise SqlSyntaxError(
+                f"trailing input at {self._current.position}: "
+                f"{self._current.value!r}"
+            )
+        return stmt
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_select_items()
+        self._expect_keyword("FROM")
+        from_items = self._parse_from_items()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        group_by: list[Expr] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expr())
+        having = self._parse_expr() if self._accept_keyword("HAVING") else None
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                order_by.append(self._parse_order_item())
+        limit: int | None = None
+        if self._accept_keyword("LIMIT"):
+            token = self._current
+            if token.kind is not TokenKind.NUMBER:
+                raise SqlSyntaxError(f"expected number after LIMIT, got "
+                                     f"{token.value!r}")
+            self._advance()
+            limit = int(token.value)
+        return SelectStmt(
+            items=items,
+            from_items=from_items,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr, descending)
+
+    def _parse_select_items(self) -> list[SelectItem | Star]:
+        items: list[SelectItem | Star] = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem | Star:
+        token = self._current
+        if token.kind is TokenKind.OPERATOR and token.value == "*":
+            self._advance()
+            return Star()
+        if (token.kind is TokenKind.IDENT
+                and self._peek_is_punct(1, ".")
+                and self._peek_is_star(2)):
+            qualifier = self._expect_ident()
+            self._expect_punct(".")
+            self._advance()  # the *
+            return Star(qualifier)
+        expr = self._parse_expr()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._current.kind is TokenKind.IDENT:
+            alias = self._expect_ident()
+        return SelectItem(expr, alias)
+
+    def _peek_is_punct(self, offset: int, ch: str) -> bool:
+        token = self._tokens[self._pos + offset]
+        return token.kind is TokenKind.PUNCT and token.value == ch
+
+    def _peek_is_star(self, offset: int) -> bool:
+        token = self._tokens[self._pos + offset]
+        return token.kind is TokenKind.OPERATOR and token.value == "*"
+
+    def _parse_from_items(self) -> list[FromItem]:
+        items = [self._parse_join_tree()]
+        while self._accept_punct(","):
+            items.append(self._parse_join_tree())
+        return items
+
+    def _parse_join_tree(self) -> FromItem:
+        left: FromItem = self._parse_table_ref()
+        while True:
+            outer = False
+            if self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                outer = True
+            elif self._accept_keyword("INNER"):
+                self._expect_keyword("JOIN")
+            elif self._accept_keyword("JOIN"):
+                pass
+            else:
+                return left
+            right = self._parse_table_ref()
+            self._expect_keyword("ON")
+            condition = self._parse_expr()
+            left = JoinRef(left, right, condition, outer=outer)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_ident()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._current.kind is TokenKind.IDENT:
+            alias = self._expect_ident()
+        return TableRef(name, alias)
+
+    def _parse_insert(self) -> InsertStmt:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: list[str] | None = None
+        if self._accept_punct("("):
+            columns = [self._expect_ident()]
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows: list[list[Expr]] = [self._parse_value_row()]
+        while self._accept_punct(","):
+            rows.append(self._parse_value_row())
+        return InsertStmt(table, columns, rows)
+
+    def _parse_value_row(self) -> list[Expr]:
+        self._expect_punct("(")
+        values = [self._parse_expr()]
+        while self._accept_punct(","):
+            values.append(self._parse_expr())
+        self._expect_punct(")")
+        return values
+
+    def _parse_delete(self) -> DeleteStmt:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return DeleteStmt(table, where)
+
+    def _parse_update(self) -> UpdateStmt:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expr() if self._accept_keyword("WHERE") else None
+        return UpdateStmt(table, assignments, where)
+
+    def _parse_assignment(self) -> Assignment:
+        column = self._expect_ident()
+        if self._accept_operator("=") is None:
+            raise SqlSyntaxError(f"expected = at {self._current.position}")
+        return Assignment(column, self._parse_expr())
+
+    # -- expressions -----------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = BinOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = BinOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return NotExpr(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        op = self._accept_operator("=", "<>", "!=", "<", "<=", ">", ">=")
+        if op is not None:
+            right = self._parse_additive()
+            return BinOp(op, left, right)
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNullExpr(left, negated=negated)
+        negated = self._accept_keyword("NOT")
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return BetweenExpr(left, low, high, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            return LikeExpr(left, pattern, negated=negated)
+        if negated:
+            raise SqlSyntaxError(
+                f"dangling NOT at {self._current.position}"
+            )
+        return left
+
+    def _parse_in_tail(self, operand: Expr, negated: bool) -> Expr:
+        self._expect_punct("(")
+        if self._check_keyword("SELECT"):
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return SubqueryExpr(subquery, "in", operand=operand,
+                                negated=negated)
+        items = [self._parse_expr()]
+        while self._accept_punct(","):
+            items.append(self._parse_expr())
+        self._expect_punct(")")
+        return InListExpr(operand, items, negated=negated)
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            if op == "||":
+                right = self._parse_multiplicative()
+                left = FuncCall("CONCAT", [left, right])
+                continue
+            right = self._parse_multiplicative()
+            if isinstance(right, IntervalLiteral):
+                left = DateArithExpr(left, right, 1 if op == "+" else -1)
+            else:
+                left = BinOp(op, left, right)
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            op = self._accept_operator("*", "/")
+            if op is None:
+                return left
+            left = BinOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> Expr:
+        if self._accept_operator("-"):
+            return NegExpr(self._parse_unary())
+        self._accept_operator("+")
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.PARAM:
+            self._advance()
+            param = ParamRef(self._param_count)
+            self._param_count += 1
+            return param
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("DATE"):
+            self._advance()
+            value = self._current
+            if value.kind is not TokenKind.STRING:
+                raise SqlSyntaxError("expected string after DATE")
+            self._advance()
+            return Literal(datetime.date.fromisoformat(value.value))
+        if token.is_keyword("INTERVAL"):
+            self._advance()
+            amount_token = self._current
+            if amount_token.kind not in (TokenKind.STRING, TokenKind.NUMBER):
+                raise SqlSyntaxError("expected amount after INTERVAL")
+            self._advance()
+            unit_token = self._current
+            if not unit_token.is_keyword("DAY", "MONTH", "YEAR"):
+                raise SqlSyntaxError("expected DAY/MONTH/YEAR after INTERVAL")
+            self._advance()
+            return IntervalLiteral(int(amount_token.value), unit_token.value)
+        if token.is_keyword("EXTRACT"):
+            self._advance()
+            self._expect_punct("(")
+            field_token = self._current
+            if not field_token.is_keyword("YEAR", "MONTH", "DAY"):
+                raise SqlSyntaxError("expected YEAR/MONTH/DAY in EXTRACT")
+            self._advance()
+            self._expect_keyword("FROM")
+            operand = self._parse_expr()
+            self._expect_punct(")")
+            return ExtractExpr(field_token.value, operand)
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self._parse_select()
+            self._expect_punct(")")
+            return SubqueryExpr(subquery, "exists")
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword(*_AGG_KEYWORDS):
+            return self._parse_aggregate()
+        if token.kind is TokenKind.PUNCT and token.value == "(":
+            self._advance()
+            if self._check_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_punct(")")
+                return SubqueryExpr(subquery, "scalar")
+            inner = self._parse_expr()
+            self._expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENT:
+            name = self._expect_ident()
+            if self._accept_punct("."):
+                column = self._expect_ident()
+                return ColumnRef(name, column)
+            if self._accept_punct("("):
+                args: list[Expr] = []
+                if not self._accept_punct(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_punct(","):
+                        args.append(self._parse_expr())
+                    self._expect_punct(")")
+                return FuncCall(name, args)
+            return ColumnRef(None, name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at {token.position}"
+        )
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("CASE")
+        branches: list[tuple[Expr, Expr]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expr()
+            self._expect_keyword("THEN")
+            branches.append((condition, self._parse_expr()))
+        default: Expr | None = None
+        if self._accept_keyword("ELSE"):
+            default = self._parse_expr()
+        self._expect_keyword("END")
+        if not branches:
+            raise SqlSyntaxError("CASE without WHEN branches")
+        return CaseExpr(branches, default)
+
+    def _parse_aggregate(self) -> Expr:
+        func_token = self._advance()
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT")
+        arg: Expr | None
+        token = self._current
+        if token.kind is TokenKind.OPERATOR and token.value == "*":
+            self._advance()
+            arg = None
+        else:
+            arg = self._parse_expr()
+        self._expect_punct(")")
+        return AggCall(func_token.value, arg, distinct=distinct)

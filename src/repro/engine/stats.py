@@ -1,0 +1,122 @@
+"""Table statistics and selectivity estimation.
+
+The optimizer's behaviour on the paper's Table 6 depends on exactly
+this module: with a literal predicate the estimator interpolates
+against min/max and sees that ``quantity < 9999`` selects everything
+(full scan wins); with a *parameter marker* — which is what SAP's Open
+SQL translation produces — no estimate is possible and the optimizer
+falls back to :data:`DEFAULT_RANGE_SELECTIVITY`, which is low enough to
+make the (catastrophic) index plan look attractive.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.engine.table import Table
+
+#: System-R style fallbacks when a predicate value is unknown at plan time
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 0.05
+DEFAULT_LIKE_SELECTIVITY = 0.10
+
+
+@dataclass
+class ColumnStats:
+    n_distinct: int = 0
+    min_value: object = None
+    max_value: object = None
+    null_count: int = 0
+
+
+@dataclass
+class TableStats:
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    analyzed: bool = False
+
+
+def analyze(table: Table) -> TableStats:
+    """Single-pass statistics collection (the engine's ANALYZE)."""
+    stats = TableStats(row_count=table.row_count, analyzed=True)
+    names = [c.name.lower() for c in table.schema.columns]
+    distinct: list[set] = [set() for _ in names]
+    mins: list[object] = [None] * len(names)
+    maxs: list[object] = [None] * len(names)
+    nulls = [0] * len(names)
+    for _rowid, row in table.heap.scan():
+        for pos, value in enumerate(row):
+            if value is None:
+                nulls[pos] += 1
+                continue
+            if len(distinct[pos]) < 100_000:
+                distinct[pos].add(value)
+            if mins[pos] is None or value < mins[pos]:
+                mins[pos] = value
+            if maxs[pos] is None or value > maxs[pos]:
+                maxs[pos] = value
+    for pos, name in enumerate(names):
+        stats.columns[name] = ColumnStats(
+            n_distinct=len(distinct[pos]),
+            min_value=mins[pos],
+            max_value=maxs[pos],
+            null_count=nulls[pos],
+        )
+    return stats
+
+
+def _as_number(value: object) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+def eq_selectivity(stats: TableStats, column: str,
+                   value_known: bool) -> float:
+    """Selectivity of ``column = const``.
+
+    ``value_known`` is False for parameter markers, in which case the
+    per-column distinct count can still be used (the classic 1/NDV
+    estimate does not need the value itself).
+    """
+    col = stats.columns.get(column.lower())
+    if col is None or not stats.analyzed or col.n_distinct == 0:
+        return DEFAULT_EQ_SELECTIVITY
+    return min(1.0, 1.0 / col.n_distinct)
+
+
+def range_selectivity(
+    stats: TableStats,
+    column: str,
+    op: str,
+    value: object,
+) -> float:
+    """Selectivity of ``column <op> value`` by min/max interpolation.
+
+    ``value`` is the *plan-time* constant; pass ``None`` for parameter
+    markers to get the blind default — the heart of the Table 6 trap.
+    """
+    if value is None:
+        return DEFAULT_RANGE_SELECTIVITY
+    col = stats.columns.get(column.lower())
+    if col is None or not stats.analyzed:
+        return DEFAULT_RANGE_SELECTIVITY
+    low = _as_number(col.min_value)
+    high = _as_number(col.max_value)
+    point = _as_number(value)
+    if low is None or high is None or point is None:
+        return DEFAULT_RANGE_SELECTIVITY
+    if high <= low:
+        return DEFAULT_RANGE_SELECTIVITY
+    fraction = (point - low) / (high - low)
+    fraction = min(1.0, max(0.0, fraction))
+    if op in ("<", "<="):
+        return fraction
+    if op in (">", ">="):
+        return 1.0 - fraction
+    return DEFAULT_RANGE_SELECTIVITY

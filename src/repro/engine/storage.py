@@ -1,0 +1,89 @@
+"""Heap files: page-structured row storage with size accounting.
+
+Rows live in Python lists (this is a simulator, not a persistence
+layer), but pages are tracked exactly: each heap knows how many rows
+fit a page given its schema's row width, so full scans charge the right
+number of sequential page reads and the storage accountant can produce
+the paper's Table 2 byte counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.errors import ExecutionError
+from repro.engine.schema import TableSchema
+
+
+class HeapFile:
+    """Slotted-row heap for one table.
+
+    Row ids are stable list positions; deletes leave tombstones
+    (``None``) that scans skip, mirroring how a real heap keeps page
+    layout until reorganisation.
+    """
+
+    def __init__(self, schema: TableSchema, page_size_bytes: int) -> None:
+        self.schema = schema
+        self._page_size = page_size_bytes
+        self._rows: list[tuple | None] = []
+        self._live = 0
+        self.rows_per_page = max(1, page_size_bytes // schema.row_byte_width)
+
+    # -- mutation -------------------------------------------------------
+
+    def append(self, row: tuple) -> int:
+        """Store ``row`` and return its rowid."""
+        self._rows.append(row)
+        self._live += 1
+        return len(self._rows) - 1
+
+    def delete(self, rowid: int) -> None:
+        if not self._slot_live(rowid):
+            raise ExecutionError(f"delete of dead rowid {rowid}")
+        self._rows[rowid] = None
+        self._live -= 1
+
+    def update(self, rowid: int, row: tuple) -> None:
+        if not self._slot_live(rowid):
+            raise ExecutionError(f"update of dead rowid {rowid}")
+        self._rows[rowid] = row
+
+    # -- access ---------------------------------------------------------
+
+    def fetch(self, rowid: int) -> tuple:
+        if not self._slot_live(rowid):
+            raise ExecutionError(f"fetch of dead rowid {rowid}")
+        row = self._rows[rowid]
+        assert row is not None
+        return row
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) for every live row, heap order."""
+        for rowid, row in enumerate(self._rows):
+            if row is not None:
+                yield rowid, row
+
+    def _slot_live(self, rowid: int) -> bool:
+        return 0 <= rowid < len(self._rows) and self._rows[rowid] is not None
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._live
+
+    @property
+    def page_count(self) -> int:
+        """Pages the heap occupies (tombstones still take space)."""
+        slots = len(self._rows)
+        if slots == 0:
+            return 0
+        return -(-slots // self.rows_per_page)
+
+    @property
+    def data_bytes(self) -> int:
+        return len(self._rows) * self.schema.row_byte_width
+
+    def page_of(self, rowid: int) -> int:
+        return rowid // self.rows_per_page

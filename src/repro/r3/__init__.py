@@ -1,0 +1,20 @@
+"""SAP R/3 application-server simulator.
+
+Models the pieces of R/3 the paper's measurements depend on:
+
+* the data dictionary with transparent, pool and cluster tables
+  (:mod:`repro.r3.ddic`, :mod:`repro.r3.pools`),
+* the database interface with cursor caching and Open SQL's
+  literal→parameter translation (:mod:`repro.r3.dbif`,
+  :mod:`repro.r3.opensql`),
+* Native SQL (EXEC SQL) passthrough (:mod:`repro.r3.nativesql`),
+* the ABAP runtime used by reports: SELECT loops, internal tables,
+  EXTRACT/SORT/LOOP AT END grouping (:mod:`repro.r3.abap`),
+* application-server table buffers (:mod:`repro.r3.buffers`),
+* the batch-input facility (:mod:`repro.r3.batchinput`),
+* the 2.2G → 3.0E upgrade (:mod:`repro.r3.upgrade`).
+"""
+
+from repro.r3.appserver import R3System, R3Version
+
+__all__ = ["R3System", "R3Version"]

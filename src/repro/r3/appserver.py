@@ -1,0 +1,227 @@
+"""The R/3 system facade: application server + back-end RDBMS.
+
+An :class:`R3System` owns a back-end :class:`~repro.engine.Database`
+(the second-party RDBMS of the paper), the data dictionary, the
+database interface, the table buffers and the two query interfaces
+(Open SQL / Native SQL).  App server and RDBMS share one simulated
+clock, as in the paper's single-machine configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.engine.database import Database
+from repro.r3.buffers import TableBufferManager
+from repro.r3.dbif import DatabaseInterface
+from repro.r3.ddic import DataDictionary, DDicField, DDicTable, TableKind
+from repro.r3.errors import DDicError
+from repro.r3.pools import ClusterContainer, PoolContainer
+from repro.sim.clock import ClockSpan
+from repro.sim.params import SimParams
+
+DEFAULT_CLIENT = "301"
+
+
+class R3Version(enum.Enum):
+    """The two releases the paper measures."""
+
+    V22 = "2.2G"
+    V30 = "3.0E"
+
+    @property
+    def open_sql_joins(self) -> bool:
+        """3.0 Open SQL can express joins (pushed to the RDBMS)."""
+        return self is R3Version.V30
+
+    @property
+    def open_sql_aggregates(self) -> bool:
+        """3.0 Open SQL can push *simple* single-attribute aggregates."""
+        return self is R3Version.V30
+
+    @property
+    def can_convert_cluster(self) -> bool:
+        """3.0 allows converting cluster tables to transparent."""
+        return self is R3Version.V30
+
+
+class R3System:
+    def __init__(
+        self,
+        version: R3Version = R3Version.V22,
+        params: SimParams | None = None,
+        client: str = DEFAULT_CLIENT,
+    ) -> None:
+        self.version = version
+        self.params = params or SimParams()
+        self.db = Database(params=self.params, name="sapdb")
+        self.clock = self.db.clock
+        self.metrics = self.db.metrics
+        self.client = client
+        self.ddic = DataDictionary()
+        self.dbif = DatabaseInterface(self)
+        self.buffers = TableBufferManager(self)
+        self.pools: dict[str, PoolContainer] = {}
+        self.clusters: dict[str, ClusterContainer] = {}
+        # Late imports to avoid cycles; these are the query interfaces.
+        from repro.r3.nativesql import NativeSql
+        from repro.r3.opensql.executor import OpenSql
+
+        self.open_sql = OpenSql(self)
+        self.native_sql = NativeSql(self)
+
+    # -- measurement ---------------------------------------------------------
+
+    def measure(self) -> ClockSpan:
+        """Open a simulated-time measurement window."""
+        return self.clock.span()
+
+    # -- cost charging -------------------------------------------------------
+
+    def charge_abap(self, rows: int = 1) -> None:
+        """ABAP interpreter cost for processing ``rows`` records."""
+        if rows:
+            self.clock.charge(self.params.abap_row_s * rows)
+            self.metrics.count("abap.rows_processed", rows)
+
+    def charge_decode(self, rows: int = 1) -> None:
+        """Pool/cluster decode cost for ``rows`` logical records."""
+        if rows:
+            self.clock.charge(self.params.pool_decode_s * rows)
+            self.metrics.count("abap.rows_decoded", rows)
+
+    # -- schema activation -----------------------------------------------------
+
+    def define_pool(self, name: str) -> PoolContainer:
+        container = PoolContainer(name)
+        self.pools[container.name] = container
+        self.db.create_table(container.physical_schema())
+        return container
+
+    def define_cluster(self, name: str,
+                       key_fields: list[DDicField]) -> ClusterContainer:
+        container = ClusterContainer(name, key_fields)
+        self.clusters[container.name] = container
+        self.db.create_table(container.physical_schema())
+        return container
+
+    def activate_table(self, table: DDicTable) -> DDicTable:
+        """Register a logical table and create transparent storage."""
+        self.ddic.define(table)
+        if table.kind is TableKind.TRANSPARENT:
+            self.db.create_table(table.to_table_schema())
+        elif table.kind is TableKind.POOL:
+            if table.container not in self.pools:
+                raise DDicError(
+                    f"{table.name}: pool container {table.container} missing"
+                )
+        elif table.container not in self.clusters:
+            raise DDicError(
+                f"{table.name}: cluster container {table.container} missing"
+            )
+        return table
+
+    # -- logical writes (used by batch input and the loader) ---------------------
+
+    def insert_logical(self, table_name: str, row: tuple,
+                       bulk: bool = False) -> None:
+        """Insert one logical row (without MANDT) into a table."""
+        table = self.ddic.lookup(table_name)
+        full_row = (self.client,) + tuple(row)
+        if table.kind is TableKind.TRANSPARENT:
+            self.db.catalog.table(table.name).insert(full_row, bulk=bulk)
+        elif table.kind is TableKind.POOL:
+            container = self.pools[table.container]
+            physical = container.physical_row(table, full_row)
+            self.db.catalog.table(container.name).insert(physical, bulk=bulk)
+        else:
+            raise DDicError(
+                f"{table.name}: cluster rows must be written per cluster "
+                f"(insert_cluster)"
+            )
+        self.buffers.invalidate(table.name)
+
+    def insert_cluster(self, table_name: str, cluster_key: tuple,
+                       rows: list[tuple], bulk: bool = False) -> None:
+        """Write all logical rows of one cluster record.
+
+        After a table has been converted to transparent (3.0), the same
+        document-level write degrades gracefully to row-wise inserts.
+        """
+        table = self.ddic.lookup(table_name)
+        if table.kind is TableKind.TRANSPARENT:
+            for row in rows:
+                self.insert_logical(table_name, row, bulk=bulk)
+            return
+        if table.kind is not TableKind.CLUSTER:
+            raise DDicError(f"{table.name} is not a cluster table")
+        container = self.clusters[table.container]
+        physical_table = self.db.catalog.table(container.name)
+        for physical in container.physical_rows(self.client, cluster_key,
+                                                rows):
+            physical_table.insert(physical, bulk=bulk)
+        self.buffers.invalidate(table.name)
+
+    # -- conversion (2.2 pool only; 3.0 any; used by the upgrade) ------------------
+
+    def convert_table(self, table_name: str) -> None:
+        """Convert an encapsulated table to a transparent table.
+
+        Reads every logical row through the decoder, creates the
+        transparent incarnation, and reinserts — an expensive, offline
+        reorganisation, exactly as the paper describes for KONV.
+        """
+        table = self.ddic.lookup(table_name)
+        if table.kind is TableKind.TRANSPARENT:
+            raise DDicError(f"{table_name} is already transparent")
+        if table.kind is TableKind.CLUSTER and \
+                not self.version.can_convert_cluster:
+            raise DDicError(
+                "cluster tables can only be converted in Release 3.0"
+            )
+        rows = list(self._read_encapsulated_all(table))
+        container_name = table.container
+        self.ddic.convert_to_transparent(table.name)
+        self.db.create_table(table.to_table_schema())
+        physical = self.db.catalog.table(table.name)
+        for row in rows:
+            physical.insert(row, bulk=True)
+        self.metrics.count(f"r3.converted.{table.name}")
+        # The old encoded rows stay in the shared container for other
+        # logical tables; purge this table's rows from a pool container.
+        if container_name in self.pools:
+            self.db.execute(
+                f"DELETE FROM {container_name} WHERE tabname = ?",
+                (table.name,),
+            )
+
+    def _read_encapsulated_all(self, table: DDicTable):
+        """Decode every logical row (incl. MANDT) of a pool/cluster table."""
+        if table.kind is TableKind.POOL:
+            container = self.pools[table.container]
+            result = self.dbif.execute_param(
+                f"SELECT vardata FROM {container.name} WHERE tabname = ?",
+                (table.name,),
+            )
+            for (vardata,) in result.rows:
+                self.charge_decode()
+                yield PoolContainer.decode(table, vardata)
+        else:
+            container = self.clusters[table.container]
+            result = self.dbif.execute_param(
+                f"SELECT mandt, vardata FROM {container.name}", ()
+            )
+            for mandt, vardata in result.rows:
+                for logical in ClusterContainer.decode_page(table, vardata):
+                    self.charge_decode()
+                    yield (mandt,) + logical
+
+    # -- introspection ------------------------------------------------------------
+
+    def table_count(self) -> int:
+        return len(self.ddic.tables)
+
+    def encapsulated_count(self) -> int:
+        return sum(
+            1 for t in self.ddic.tables.values() if t.encapsulated
+        )

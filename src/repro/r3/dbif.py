@@ -1,0 +1,79 @@
+"""The ABAP/4 database interface layer.
+
+Every call from the application server to the RDBMS crosses this
+interface (paper Figure 2).  The interface charges a round-trip per
+call plus per-tuple/per-byte shipping for results — the costs that
+dominate nested SELECT loops in 2.2-era Open SQL reports.
+
+Open SQL statements arrive here already translated into parameterized
+SQL; the interface keeps a cursor cache so re-executing the same
+statement text reuses the prepared plan (cursor REOPEN), which is also
+why the RDBMS optimizer never sees Open SQL literals.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.database import PreparedStatement, Result
+
+
+class DatabaseInterface:
+    def __init__(self, r3) -> None:
+        self._r3 = r3
+        self._cursor_cache: dict[str, PreparedStatement] = {}
+        #: global switch (ablation A2 turns cursor caching off)
+        self.cache_enabled = True
+
+    # -- parameterized path (Open SQL, cluster/pool physical reads) -------
+
+    def execute_param(self, sql: str, params: Sequence[object] = (),
+                      use_cursor_cache: bool = True) -> Result:
+        """Round trip with a parameterized statement (plan cached)."""
+        r3 = self._r3
+        r3.clock.charge(r3.params.roundtrip_s)
+        r3.metrics.count("dbif.roundtrips")
+        if use_cursor_cache and self.cache_enabled:
+            stmt = self._cursor_cache.get(sql)
+            if stmt is None:
+                r3.metrics.count("dbif.cursor_cache_misses")
+                stmt = r3.db.prepare(sql)
+                self._cursor_cache[sql] = stmt
+            else:
+                r3.metrics.count("dbif.cursor_cache_hits")
+        else:
+            r3.metrics.count("dbif.cursor_cache_bypassed")
+            stmt = r3.db.prepare(sql)
+        result = stmt.execute(params)
+        self._charge_shipping(result)
+        return result
+
+    # -- literal path (Native SQL / EXEC SQL) --------------------------------
+
+    def execute_literal(self, sql: str,
+                        params: Sequence[object] = ()) -> Result:
+        """Round trip with literal SQL: planned fresh, literals visible
+        to the optimizer."""
+        r3 = self._r3
+        r3.clock.charge(r3.params.roundtrip_s)
+        r3.metrics.count("dbif.roundtrips")
+        result = r3.db.execute(sql, params)
+        self._charge_shipping(result)
+        return result
+
+    def flush_cursor_cache(self) -> None:
+        self._cursor_cache.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _charge_shipping(self, result: Result) -> None:
+        r3 = self._r3
+        row_count = len(result.rows)
+        if not row_count:
+            return
+        byte_estimate = row_count * len(result.columns) * 16
+        r3.clock.charge(
+            row_count * r3.params.ship_tuple_s
+            + byte_estimate * r3.params.ship_byte_s
+        )
+        r3.metrics.count("dbif.tuples_shipped", row_count)

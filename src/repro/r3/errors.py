@@ -1,0 +1,21 @@
+"""R/3 layer exception hierarchy."""
+
+
+class R3Error(Exception):
+    """Base class for R/3 simulator errors."""
+
+
+class DDicError(R3Error):
+    """Data-dictionary problem (unknown table, bad definition)."""
+
+
+class OpenSqlError(R3Error):
+    """Open SQL statement rejected (syntax or version feature gate)."""
+
+
+class NativeSqlError(R3Error):
+    """EXEC SQL rejected (e.g. touches an encapsulated table)."""
+
+
+class BatchInputError(R3Error):
+    """A batch-input transaction failed its consistency checks."""

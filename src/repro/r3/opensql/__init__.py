@@ -1,0 +1,5 @@
+"""Open SQL: ABAP's portable, dictionary-mediated query dialect."""
+
+from repro.r3.opensql.executor import OpenSql, OSResult
+
+__all__ = ["OpenSql", "OSResult"]

@@ -1,0 +1,123 @@
+"""Open SQL AST.
+
+Mirrors ABAP's SELECT statement structure: space-separated field
+lists, ``~`` qualification, host variables written ``:name``, and —
+deliberately — *no* syntax for arithmetic inside aggregates, nested
+queries, or expressions in the select list.  The grammar itself
+enforces the Open SQL limitations the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class OSField:
+    alias: str | None
+    name: str
+
+    def display(self) -> str:
+        if self.alias:
+            return f"{self.alias}~{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class OSAgg:
+    """Aggregate over a single plain attribute (or ``*`` for COUNT)."""
+
+    func: str  # SUM/AVG/MIN/MAX/COUNT
+    arg: OSField | None  # None = COUNT(*)
+
+
+@dataclass(frozen=True)
+class OSStar:
+    pass
+
+
+@dataclass(frozen=True)
+class OSLiteral:
+    value: object
+
+
+@dataclass(frozen=True)
+class OSHost:
+    """Host variable ``:name`` bound at OPEN time from the report."""
+
+    name: str
+
+
+OSOperand = OSField | OSLiteral | OSHost
+
+
+@dataclass
+class OSComp:
+    left: OSField
+    op: str  # '=', '<>', '<', '<=', '>', '>='
+    right: OSOperand
+
+
+@dataclass
+class OSLike:
+    left: OSField
+    pattern: OSOperand
+    negated: bool = False
+
+
+@dataclass
+class OSIn:
+    left: OSField
+    items: list[OSOperand]
+    negated: bool = False
+
+
+@dataclass
+class OSBetween:
+    left: OSField
+    low: OSOperand
+    high: OSOperand
+    negated: bool = False
+
+
+@dataclass
+class OSBool:
+    op: str  # 'AND' / 'OR'
+    left: "OSCond"
+    right: "OSCond"
+
+
+@dataclass
+class OSNot:
+    operand: "OSCond"
+
+
+OSCond = OSComp | OSLike | OSIn | OSBetween | OSBool | OSNot
+
+
+@dataclass
+class OSJoin:
+    table: str
+    alias: str | None
+    on: list[OSComp]
+
+
+@dataclass
+class OSSelect:
+    single: bool
+    items: list[OSField | OSAgg | OSStar]
+    table: str
+    alias: str | None
+    joins: list[OSJoin] = field(default_factory=list)
+    where: OSCond | None = None
+    group_by: list[OSField] = field(default_factory=list)
+    order_by: list[tuple[OSField, bool]] = field(default_factory=list)
+    up_to: int | None = None
+
+    @property
+    def has_joins(self) -> bool:
+        return bool(self.joins)
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, OSAgg) for item in self.items)

@@ -1,0 +1,375 @@
+"""Open SQL execution.
+
+Transparent tables (and views) take the *pushdown* path: the statement
+is translated to parameterized SQL and shipped over the database
+interface — in Release 3.0 including joins and simple aggregates.
+
+Pool and cluster tables take the *encapsulated* path: the app server
+fetches encoded physical records, decodes them with the dictionary,
+and evaluates the predicate itself.  Joins, grouping and aggregation
+are never available on encapsulated tables — the reports must do that
+work in ABAP, which is precisely the overhead the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expr import like_to_regex
+from repro.r3.ddic import DDicTable, TableKind
+from repro.r3.errors import OpenSqlError
+from repro.r3.opensql.ast import (
+    OSAgg,
+    OSBetween,
+    OSBool,
+    OSComp,
+    OSCond,
+    OSField,
+    OSHost,
+    OSIn,
+    OSLike,
+    OSLiteral,
+    OSNot,
+    OSSelect,
+    OSStar,
+)
+from repro.r3.opensql.parser import parse_open_sql
+from repro.r3.opensql.translate import translate
+from repro.r3.pools import ClusterContainer, PoolContainer
+
+
+@dataclass
+class OSResult:
+    fields: list[str]
+    rows: list[tuple]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+
+class OpenSql:
+    def __init__(self, r3) -> None:
+        self._r3 = r3
+
+    # -- public API -------------------------------------------------------
+
+    def select(self, text: str, host_vars: dict[str, object] | None = None
+               ) -> OSResult:
+        """SELECT ... ENDSELECT: run the statement, return all rows."""
+        stmt = parse_open_sql(text)
+        return self._run(stmt, host_vars or {})
+
+    def select_single(self, text: str,
+                      host_vars: dict[str, object] | None = None
+                      ) -> tuple | None:
+        """SELECT SINGLE: at most one row, table buffer aware."""
+        stmt = parse_open_sql(text)
+        if not stmt.single:
+            stmt.single = True
+        host_vars = host_vars or {}
+        buffered = self._try_buffer(stmt, host_vars)
+        if buffered is not None:
+            hit, row = buffered
+            if hit:
+                return row
+        result = self._run(stmt, host_vars)
+        row = result.first()
+        if buffered is not None:
+            self._store_buffer(stmt, host_vars, row)
+        return row
+
+    # -- feature gates -------------------------------------------------------
+
+    def _check_gates(self, stmt: OSSelect, kinds: list[TableKind]) -> None:
+        version = self._r3.version
+        if stmt.has_joins and not version.open_sql_joins:
+            raise OpenSqlError(
+                "joins in Open SQL require Release 3.0 "
+                "(use nested SELECT loops or a join view in 2.2)"
+            )
+        if (stmt.has_aggregates or stmt.group_by) and \
+                not version.open_sql_aggregates:
+            raise OpenSqlError(
+                "aggregates/GROUP BY in Open SQL require Release 3.0"
+            )
+        encapsulated = any(k is not TableKind.TRANSPARENT for k in kinds)
+        if encapsulated:
+            if stmt.has_joins:
+                raise OpenSqlError(
+                    "encapsulated tables cannot participate in joins"
+                )
+            if stmt.has_aggregates or stmt.group_by:
+                raise OpenSqlError(
+                    "aggregates can only be applied to transparent tables"
+                )
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _run(self, stmt: OSSelect, host_vars: dict[str, object]) -> OSResult:
+        r3 = self._r3
+        kinds = []
+        refs = [stmt.table] + [j.table for j in stmt.joins]
+        for name in refs:
+            if r3.ddic.has(name):
+                kinds.append(r3.ddic.lookup(name).kind)
+            elif r3.db.catalog.has_view(name):
+                kinds.append(TableKind.TRANSPARENT)
+            else:
+                raise OpenSqlError(f"unknown table or view {name}")
+        self._check_gates(stmt, kinds)
+        if kinds[0] is TableKind.TRANSPARENT:
+            return self._run_pushdown(stmt, host_vars)
+        table = r3.ddic.lookup(stmt.table)
+        if table.kind is TableKind.POOL:
+            return self._run_pool(stmt, table, host_vars)
+        return self._run_cluster(stmt, table, host_vars)
+
+    # -- pushdown path --------------------------------------------------------
+
+    def _field_names_of(self, table_name: str) -> list[str]:
+        r3 = self._r3
+        if r3.ddic.has(table_name):
+            return r3.ddic.lookup(table_name).field_names
+        raise OpenSqlError(f"SELECT * is not supported on view {table_name}")
+
+    def _client_dependent(self, table_name: str) -> bool:
+        r3 = self._r3
+        if r3.ddic.has(table_name):
+            return True
+        # Join views expose MANDT; restrict on it there too.
+        if r3.db.catalog.has_view(table_name):
+            return True
+        return False
+
+    def _run_pushdown(self, stmt: OSSelect,
+                      host_vars: dict[str, object]) -> OSResult:
+        r3 = self._r3
+        translation = translate(stmt, self._field_names_of,
+                                self._client_dependent)
+        params = translation.bind(r3.client, host_vars)
+        result = r3.dbif.execute_param(translation.sql, params)
+        r3.charge_abap(len(result.rows))
+        return OSResult(result.columns, result.rows)
+
+    # -- encapsulated paths ---------------------------------------------------------
+
+    def _run_pool(self, stmt: OSSelect, table: DDicTable,
+                  host_vars: dict[str, object]) -> OSResult:
+        r3 = self._r3
+        container = r3.pools[table.container]
+        eq = self._eq_conditions(stmt.where, host_vars)
+        key_names = [f.name.lower() for f in table.key_fields]
+        if key_names and all(name in eq for name in key_names):
+            # Exact logical key: probe the pool by VARKEY.
+            varkey_parts = [r3.client] + [str(eq[name]) for name in key_names]
+            varkey = "|".join(varkey_parts)
+            result = r3.dbif.execute_param(
+                f"SELECT vardata FROM {container.name} "
+                f"WHERE tabname = ? AND varkey = ?",
+                (table.name, varkey),
+            )
+        else:
+            result = r3.dbif.execute_param(
+                f"SELECT vardata FROM {container.name} WHERE tabname = ?",
+                (table.name,),
+            )
+        rows = []
+        for (vardata,) in result.rows:
+            r3.charge_decode()
+            full = PoolContainer.decode(table, vardata)
+            if full[0] != r3.client:
+                continue
+            rows.append(full[1:])  # strip MANDT
+        return self._finish_app_side(stmt, table, rows, host_vars)
+
+    def _run_cluster(self, stmt: OSSelect, table: DDicTable,
+                     host_vars: dict[str, object]) -> OSResult:
+        r3 = self._r3
+        container = r3.clusters[table.container]
+        eq = self._eq_conditions(stmt.where, host_vars)
+        cluster_key_names = [f.name.lower() for f in container.key_fields]
+        if all(name in eq for name in cluster_key_names):
+            predicates = " AND ".join(
+                f"{name} = ?" for name in cluster_key_names
+            )
+            sql = (f"SELECT vardata FROM {container.name} "
+                   f"WHERE mandt = ? AND {predicates} ORDER BY pagno")
+            params = [r3.client] + [eq[name] for name in cluster_key_names]
+            result = r3.dbif.execute_param(sql, params)
+        else:
+            result = r3.dbif.execute_param(
+                f"SELECT vardata FROM {container.name} WHERE mandt = ?",
+                (r3.client,),
+            )
+        rows = []
+        for (vardata,) in result.rows:
+            for logical in ClusterContainer.decode_page(table, vardata):
+                r3.charge_decode()
+                rows.append(logical)
+        return self._finish_app_side(stmt, table, rows, host_vars)
+
+    def _finish_app_side(self, stmt: OSSelect, table: DDicTable,
+                         rows: list[tuple],
+                         host_vars: dict[str, object]) -> OSResult:
+        """Residual filter, projection, sort in the app server."""
+        r3 = self._r3
+        positions = {name: i for i, name in enumerate(table.field_names)}
+
+        def getter(field: OSField, row: tuple) -> object:
+            try:
+                return row[positions[field.name.lower()]]
+            except KeyError:
+                raise OpenSqlError(
+                    f"no field {field.name} in {table.name}"
+                ) from None
+
+        filtered = []
+        for row in rows:
+            r3.charge_abap(1)
+            if stmt.where is None or _eval_cond(stmt.where, row, getter,
+                                                host_vars):
+                filtered.append(row)
+        if stmt.order_by:
+            for field, descending in reversed(stmt.order_by):
+                filtered.sort(
+                    key=lambda row: getter(field, row), reverse=descending
+                )
+            r3.charge_abap(len(filtered))
+        if isinstance(stmt.items[0], OSStar):
+            fields = list(table.field_names)
+            projected = filtered
+        else:
+            fields = [item.name for item in stmt.items]  # type: ignore
+            projected = [
+                tuple(getter(item, row) for item in stmt.items)  # type: ignore
+                for row in filtered
+            ]
+        limit = 1 if stmt.single else stmt.up_to
+        if limit is not None:
+            projected = projected[:limit]
+        return OSResult(fields, projected)
+
+    # -- buffering ---------------------------------------------------------------
+
+    def _buffer_key(self, stmt: OSSelect,
+                    host_vars: dict[str, object]) -> tuple | None:
+        r3 = self._r3
+        if stmt.joins or not r3.ddic.has(stmt.table):
+            return None
+        table = r3.ddic.lookup(stmt.table)
+        eq = self._eq_conditions(stmt.where, host_vars)
+        key_names = [f.name.lower() for f in table.key_fields]
+        if not key_names or not all(name in eq for name in key_names):
+            return None
+        return (r3.client,) + tuple(eq[name] for name in key_names)
+
+    def _try_buffer(self, stmt: OSSelect, host_vars: dict[str, object]
+                    ) -> tuple[bool, tuple | None] | None:
+        r3 = self._r3
+        if r3.buffers.active_for(stmt.table) is None:
+            return None
+        key = self._buffer_key(stmt, host_vars)
+        if key is None:
+            return None
+        _active, hit, row = r3.buffers.lookup(stmt.table, key)
+        return (hit, row)
+
+    def _store_buffer(self, stmt: OSSelect, host_vars: dict[str, object],
+                      row: tuple | None) -> None:
+        key = self._buffer_key(stmt, host_vars)
+        if key is not None:
+            self._r3.buffers.store(stmt.table, key, row)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    @staticmethod
+    def _eq_conditions(cond: OSCond | None,
+                       host_vars: dict[str, object]) -> dict[str, object]:
+        """field -> value for top-level AND-connected equality tests."""
+        out: dict[str, object] = {}
+
+        def visit(node: OSCond | None) -> None:
+            if node is None:
+                return
+            if isinstance(node, OSBool) and node.op == "AND":
+                visit(node.left)
+                visit(node.right)
+            elif isinstance(node, OSComp) and node.op == "=":
+                value = _operand_value(node.right, None, None, host_vars)
+                if not isinstance(node.right, OSField):
+                    out[node.left.name.lower()] = value
+
+        visit(cond)
+        return out
+
+
+def _operand_value(operand, row, getter, host_vars):
+    if isinstance(operand, OSLiteral):
+        return operand.value
+    if isinstance(operand, OSHost):
+        if operand.name not in host_vars:
+            raise OpenSqlError(f"unbound host variable :{operand.name}")
+        return host_vars[operand.name]
+    if isinstance(operand, OSField):
+        if getter is None:
+            return None
+        return getter(operand, row)
+    raise OpenSqlError(f"bad operand {operand!r}")
+
+
+def _eval_cond(node: OSCond, row: tuple, getter, host_vars) -> bool:
+    """App-server-side predicate evaluation on a decoded row."""
+    if isinstance(node, OSBool):
+        if node.op == "AND":
+            return (_eval_cond(node.left, row, getter, host_vars)
+                    and _eval_cond(node.right, row, getter, host_vars))
+        return (_eval_cond(node.left, row, getter, host_vars)
+                or _eval_cond(node.right, row, getter, host_vars))
+    if isinstance(node, OSNot):
+        return not _eval_cond(node.operand, row, getter, host_vars)
+    if isinstance(node, OSComp):
+        left = getter(node.left, row)
+        right = _operand_value(node.right, row, getter, host_vars)
+        if left is None or right is None:
+            return False
+        if node.op == "=":
+            return left == right
+        if node.op == "<>":
+            return left != right
+        if node.op == "<":
+            return left < right
+        if node.op == "<=":
+            return left <= right
+        if node.op == ">":
+            return left > right
+        return left >= right
+    if isinstance(node, OSLike):
+        left = getter(node.left, row)
+        pattern = _operand_value(node.pattern, row, getter, host_vars)
+        if left is None or pattern is None:
+            return False
+        matched = like_to_regex(pattern).match(left) is not None
+        return not matched if node.negated else matched
+    if isinstance(node, OSIn):
+        left = getter(node.left, row)
+        values = [
+            _operand_value(item, row, getter, host_vars)
+            for item in node.items
+        ]
+        found = left in values
+        return not found if node.negated else found
+    if isinstance(node, OSBetween):
+        left = getter(node.left, row)
+        low = _operand_value(node.low, row, getter, host_vars)
+        high = _operand_value(node.high, row, getter, host_vars)
+        if left is None or low is None or high is None:
+            return False
+        result = low <= left <= high
+        return not result if node.negated else result
+    raise OpenSqlError(f"bad condition node {node!r}")

@@ -1,0 +1,318 @@
+"""Open SQL parser (ABAP SELECT flavour).
+
+Grammar sketch::
+
+    SELECT [SINGLE] ( * | item... )
+    FROM table [AS a] [ [INNER] JOIN table [AS b] ON cond [AND cond]... ]...
+    [WHERE cond]
+    [GROUP BY field...]
+    [ORDER BY field [DESCENDING]...]
+    [UP TO n ROWS]
+
+    item  := field | SUM( field ) | AVG( field ) | MIN( field )
+           | MAX( field ) | COUNT( * )
+    field := name | alias~name
+    value := 'literal' | number | :hostvar
+
+Field lists are space separated (no commas), qualification uses ``~``
+— both faithful to ABAP/4.  Version feature gates (joins, aggregates)
+are enforced by the executor, not here, so 2.2 reports that *try* the
+new syntax fail the way the paper describes.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.r3.errors import OpenSqlError
+from repro.r3.opensql.ast import (
+    OSAgg,
+    OSBetween,
+    OSBool,
+    OSComp,
+    OSCond,
+    OSField,
+    OSHost,
+    OSIn,
+    OSJoin,
+    OSLike,
+    OSLiteral,
+    OSNot,
+    OSOperand,
+    OSSelect,
+    OSStar,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'(?:[^']|'')*')"
+    r"|(?P<number>\d+(?:\.\d+)?)"
+    r"|(?P<host>:[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<word>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><>|<=|>=|=|<|>|~|\(|\)|\*|,)"
+    r")"
+)
+
+_KEYWORDS = {
+    "SELECT", "SINGLE", "FROM", "AS", "INNER", "JOIN", "ON", "WHERE",
+    "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "GROUP", "ORDER", "BY",
+    "DESCENDING", "ASCENDING", "UP", "TO", "ROWS", "SUM", "AVG", "MIN",
+    "MAX", "COUNT",
+}
+
+_AGGS = ("SUM", "AVG", "MIN", "MAX", "COUNT")
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise OpenSqlError(
+                    f"bad Open SQL token at: {text[pos:pos + 20]!r}"
+                )
+            break
+        pos = match.end()
+        if match.lastgroup == "string":
+            raw = match.group("string")
+            tokens.append(("string", raw[1:-1].replace("''", "'")))
+        elif match.lastgroup == "number":
+            tokens.append(("number", match.group("number")))
+        elif match.lastgroup == "host":
+            tokens.append(("host", match.group("host")[1:]))
+        elif match.lastgroup == "word":
+            word = match.group("word")
+            if word.upper() in _KEYWORDS:
+                tokens.append(("kw", word.upper()))
+            else:
+                tokens.append(("name", word))
+        else:
+            tokens.append(("op", match.group("op")))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def parse_open_sql(text: str) -> OSSelect:
+    return _OSParser(text).parse()
+
+
+class _OSParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _next(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _accept_kw(self, *words: str) -> str | None:
+        kind, value = self._peek()
+        if kind == "kw" and value in words:
+            self._pos += 1
+            return value
+        return None
+
+    def _expect_kw(self, word: str) -> None:
+        if self._accept_kw(word) is None:
+            kind, value = self._peek()
+            raise OpenSqlError(f"expected {word}, got {value!r}")
+
+    def _accept_op(self, *ops: str) -> str | None:
+        kind, value = self._peek()
+        if kind == "op" and value in ops:
+            self._pos += 1
+            return value
+        return None
+
+    def _expect_name(self) -> str:
+        kind, value = self._next()
+        if kind != "name":
+            raise OpenSqlError(f"expected a name, got {value!r}")
+        return value.lower()
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> OSSelect:
+        self._expect_kw("SELECT")
+        single = self._accept_kw("SINGLE") is not None
+        items = self._parse_items()
+        self._expect_kw("FROM")
+        table, alias = self._parse_table_ref()
+        joins: list[OSJoin] = []
+        while True:
+            if self._accept_kw("INNER"):
+                self._expect_kw("JOIN")
+            elif self._accept_kw("JOIN") is None:
+                break
+            join_table, join_alias = self._parse_table_ref()
+            self._expect_kw("ON")
+            on = self._parse_on_conjuncts()
+            joins.append(OSJoin(join_table, join_alias, on))
+        where = None
+        if self._accept_kw("WHERE"):
+            where = self._parse_cond()
+        group_by: list[OSField] = []
+        if self._accept_kw("GROUP"):
+            self._expect_kw("BY")
+            group_by.append(self._parse_field())
+            while self._peek()[0] == "name" or self._is_field_start():
+                group_by.append(self._parse_field())
+        order_by: list[tuple[OSField, bool]] = []
+        if self._accept_kw("ORDER"):
+            self._expect_kw("BY")
+            while self._peek()[0] == "name" or self._is_field_start():
+                field = self._parse_field()
+                descending = self._accept_kw("DESCENDING") is not None
+                if not descending:
+                    self._accept_kw("ASCENDING")
+                order_by.append((field, descending))
+        up_to: int | None = None
+        if self._accept_kw("UP"):
+            self._expect_kw("TO")
+            kind, value = self._next()
+            if kind != "number":
+                raise OpenSqlError("expected a row count after UP TO")
+            up_to = int(value)
+            self._expect_kw("ROWS")
+        kind, value = self._peek()
+        if kind != "eof":
+            raise OpenSqlError(f"trailing Open SQL input: {value!r}")
+        return OSSelect(
+            single=single, items=items, table=table, alias=alias,
+            joins=joins, where=where, group_by=group_by, order_by=order_by,
+            up_to=up_to,
+        )
+
+    def _is_field_start(self) -> bool:
+        return self._peek()[0] == "name"
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _parse_items(self) -> list:
+        if self._accept_op("*"):
+            return [OSStar()]
+        items: list = []
+        while True:
+            kind, value = self._peek()
+            if kind == "kw" and value in _AGGS:
+                self._pos += 1
+                if self._accept_op("(") is None:
+                    raise OpenSqlError(f"expected ( after {value}")
+                if self._accept_op("*"):
+                    if value != "COUNT":
+                        raise OpenSqlError(f"{value}(*) is not Open SQL")
+                    arg = None
+                else:
+                    arg = self._parse_field()
+                if self._accept_op(")") is None:
+                    raise OpenSqlError("expected ) in aggregate")
+                items.append(OSAgg(value, arg))
+            elif kind == "name":
+                items.append(self._parse_field())
+            else:
+                break
+        if not items:
+            raise OpenSqlError("empty select list")
+        return items
+
+    def _parse_table_ref(self) -> tuple[str, str | None]:
+        table = self._expect_name()
+        alias = None
+        if self._accept_kw("AS"):
+            alias = self._expect_name()
+        return table, alias
+
+    def _parse_field(self) -> OSField:
+        name = self._expect_name()
+        if self._accept_op("~"):
+            return OSField(name, self._expect_name())
+        return OSField(None, name)
+
+    def _parse_operand(self) -> OSOperand:
+        kind, value = self._peek()
+        if kind == "string":
+            self._pos += 1
+            return OSLiteral(value)
+        if kind == "number":
+            self._pos += 1
+            number = float(value) if "." in value else int(value)
+            return OSLiteral(number)
+        if kind == "host":
+            self._pos += 1
+            return OSHost(value.lower())
+        if kind == "name":
+            return self._parse_field()
+        raise OpenSqlError(f"expected a value or field, got {value!r}")
+
+    def _parse_on_conjuncts(self) -> list[OSComp]:
+        conjuncts = [self._parse_on_comp()]
+        while self._accept_kw("AND"):
+            conjuncts.append(self._parse_on_comp())
+        return conjuncts
+
+    def _parse_on_comp(self) -> OSComp:
+        left = self._parse_field()
+        op = self._accept_op("=", "<>", "<", "<=", ">", ">=")
+        if op is None:
+            raise OpenSqlError("expected comparison in ON")
+        right = self._parse_operand()
+        return OSComp(left, op, right)
+
+    # -- conditions ------------------------------------------------------------
+
+    def _parse_cond(self) -> OSCond:
+        return self._parse_or()
+
+    def _parse_or(self) -> OSCond:
+        left = self._parse_and()
+        while self._accept_kw("OR"):
+            left = OSBool("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> OSCond:
+        left = self._parse_not()
+        while self._accept_kw("AND"):
+            left = OSBool("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> OSCond:
+        if self._accept_kw("NOT"):
+            return OSNot(self._parse_not())
+        return self._parse_simple()
+
+    def _parse_simple(self) -> OSCond:
+        if self._accept_op("("):
+            inner = self._parse_cond()
+            if self._accept_op(")") is None:
+                raise OpenSqlError("expected )")
+            return inner
+        left = self._parse_field()
+        op = self._accept_op("=", "<>", "<", "<=", ">", ">=")
+        if op is not None:
+            return OSComp(left, op, self._parse_operand())
+        negated = self._accept_kw("NOT") is not None
+        if self._accept_kw("LIKE"):
+            return OSLike(left, self._parse_operand(), negated=negated)
+        if self._accept_kw("IN"):
+            if self._accept_op("(") is None:
+                raise OpenSqlError("expected ( after IN")
+            items = [self._parse_operand()]
+            while self._accept_op(","):
+                items.append(self._parse_operand())
+            if self._accept_op(")") is None:
+                raise OpenSqlError("expected ) after IN list")
+            return OSIn(left, items, negated=negated)
+        if self._accept_kw("BETWEEN"):
+            low = self._parse_operand()
+            self._expect_kw("AND")
+            high = self._parse_operand()
+            return OSBetween(left, low, high, negated=negated)
+        raise OpenSqlError(
+            f"expected a predicate after {left.display()}"
+        )

@@ -1,0 +1,175 @@
+"""Open SQL → backend SQL translation.
+
+Two properties of the real translator are reproduced exactly because
+the paper measures their consequences:
+
+1. **Everything becomes a parameter.**  Literals and host variables
+   are both emitted as ``?`` markers so the cursor cache can reuse the
+   plan across similar statements — and so the RDBMS optimizer can
+   never estimate predicate selectivity (paper Section 4.1, Table 6).
+2. **The client predicate is injected.**  ``MANDT = ?`` is added for
+   every table reference from the application context; report authors
+   never write it (and forgetting it is the classic Native SQL bug the
+   paper warns about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.r3.errors import OpenSqlError
+from repro.r3.opensql.ast import (
+    OSAgg,
+    OSBetween,
+    OSBool,
+    OSComp,
+    OSCond,
+    OSField,
+    OSHost,
+    OSIn,
+    OSLike,
+    OSLiteral,
+    OSNot,
+    OSOperand,
+    OSSelect,
+    OSStar,
+)
+
+#: parameter source tags
+CLIENT = "client"
+LITERAL = "literal"
+HOST = "host"
+
+
+@dataclass
+class Translation:
+    sql: str
+    #: ordered parameter sources: (CLIENT,), (LITERAL, value), (HOST, name)
+    param_sources: list[tuple]
+
+    def bind(self, client: str, host_vars: dict[str, object]) -> list[object]:
+        values: list[object] = []
+        for source in self.param_sources:
+            if source[0] == CLIENT:
+                values.append(client)
+            elif source[0] == LITERAL:
+                values.append(source[1])
+            else:
+                name = source[1]
+                if name not in host_vars:
+                    raise OpenSqlError(f"unbound host variable :{name}")
+                values.append(host_vars[name])
+        return values
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.params: list[tuple] = []
+
+    def field(self, field: OSField) -> str:
+        if field.alias:
+            return f"{field.alias}.{field.name}"
+        return field.name
+
+    def operand(self, operand: OSOperand) -> str:
+        if isinstance(operand, OSField):
+            return self.field(operand)
+        if isinstance(operand, OSLiteral):
+            self.params.append((LITERAL, operand.value))
+            return "?"
+        if isinstance(operand, OSHost):
+            self.params.append((HOST, operand.name))
+            return "?"
+        raise OpenSqlError(f"bad operand {operand!r}")
+
+    def cond(self, node: OSCond) -> str:
+        if isinstance(node, OSBool):
+            return f"({self.cond(node.left)} {node.op} {self.cond(node.right)})"
+        if isinstance(node, OSNot):
+            return f"(NOT {self.cond(node.operand)})"
+        if isinstance(node, OSComp):
+            return f"{self.field(node.left)} {node.op} {self.operand(node.right)}"
+        if isinstance(node, OSLike):
+            keyword = "NOT LIKE" if node.negated else "LIKE"
+            return f"{self.field(node.left)} {keyword} {self.operand(node.pattern)}"
+        if isinstance(node, OSIn):
+            rendered = ", ".join(self.operand(item) for item in node.items)
+            keyword = "NOT IN" if node.negated else "IN"
+            return f"{self.field(node.left)} {keyword} ({rendered})"
+        if isinstance(node, OSBetween):
+            keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+            return (f"{self.field(node.left)} {keyword} "
+                    f"{self.operand(node.low)} AND {self.operand(node.high)}")
+        raise OpenSqlError(f"bad condition node {node!r}")
+
+
+def translate(stmt: OSSelect, field_names_of, client_dependent) -> Translation:
+    """Render an OSSelect as parameterized backend SQL.
+
+    ``field_names_of(table)`` returns the dictionary field list (used
+    to expand ``*`` without MANDT); ``client_dependent(table)`` says
+    whether to inject the MANDT predicate for that table reference.
+    """
+    builder = _Builder()
+
+    def binding(table: str, alias: str | None) -> str:
+        return alias or table
+
+    select_parts: list[str] = []
+    for item in stmt.items:
+        if isinstance(item, OSStar):
+            table_bind = binding(stmt.table, stmt.alias)
+            if stmt.joins:
+                raise OpenSqlError("SELECT * is single-table only")
+            select_parts.extend(
+                f"{table_bind}.{name}" for name in field_names_of(stmt.table)
+            )
+        elif isinstance(item, OSAgg):
+            arg = "*" if item.arg is None else builder.field(item.arg)
+            select_parts.append(f"{item.func}({arg})")
+        else:
+            select_parts.append(builder.field(item))
+
+    from_parts = [stmt.table + (f" {stmt.alias}" if stmt.alias else "")]
+    join_conds: list[str] = []
+    for join in stmt.joins:
+        on_parts = [
+            f"{builder.field(c.left)} {c.op} {builder.operand(c.right)}"
+            for c in join.on
+        ]
+        from_parts.append(
+            f"JOIN {join.table}"
+            + (f" {join.alias}" if join.alias else "")
+            + " ON " + " AND ".join(on_parts)
+        )
+
+    where_parts: list[str] = []
+    # Client predicates for every client-dependent table reference.
+    refs = [(stmt.table, stmt.alias)] + [(j.table, j.alias)
+                                         for j in stmt.joins]
+    for table, alias in refs:
+        if client_dependent(table):
+            builder.params.append((CLIENT,))
+            where_parts.append(f"{binding(table, alias)}.mandt = ?")
+    if stmt.where is not None:
+        where_parts.append(builder.cond(stmt.where))
+    where_parts.extend(join_conds)
+
+    sql = "SELECT " + ", ".join(select_parts)
+    sql += " FROM " + " ".join(from_parts)
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    if stmt.group_by:
+        sql += " GROUP BY " + ", ".join(
+            builder.field(f) for f in stmt.group_by
+        )
+    if stmt.order_by:
+        rendered = [
+            builder.field(f) + (" DESC" if desc else "")
+            for f, desc in stmt.order_by
+        ]
+        sql += " ORDER BY " + ", ".join(rendered)
+    limit = 1 if stmt.single else stmt.up_to
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    return Translation(sql, builder.params)

@@ -1,0 +1,167 @@
+"""Physical storage of pool and cluster tables.
+
+Pool tables share one physical container of shape
+``(TABNAME, VARKEY, VARDATA)``: one physical row per logical row, the
+logical key flattened into VARKEY and the remaining fields encoded
+into VARDATA.
+
+Cluster tables pack *many* logical rows that share a cluster key into
+few physical rows of shape ``(MANDT, <cluster key>, PAGNO, VARDATA)``
+— for KONV, all pricing conditions of one document land in one cluster
+record, which is why the KONV cluster is only readable through the
+application server and why converting it to a transparent table
+(Release 3.0) triples its footprint.
+
+Encoded rows can only be interpreted with the data dictionary; each
+decoded logical row charges the app server's decode CPU cost.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Iterator
+
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import SqlType, TypeKind
+from repro.r3.ddic import DDicField, DDicTable
+from repro.r3.errors import DDicError
+
+FIELD_SEP = "\x1f"
+ROW_SEP = "\x1e"
+NULL_MARK = "\x00"
+
+#: VARDATA capacity of one physical cluster page
+CLUSTER_PAGE_CHARS = 3000
+
+
+def encode_value(value: object) -> str:
+    if value is None:
+        return NULL_MARK
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    return str(value)
+
+
+def decode_value(text: str, sql_type: SqlType) -> object:
+    if text == NULL_MARK:
+        return None
+    kind = sql_type.kind
+    if kind is TypeKind.INTEGER:
+        return int(text)
+    if kind is TypeKind.DECIMAL:
+        return float(text)
+    if kind is TypeKind.DATE:
+        return datetime.date.fromisoformat(text)
+    return text
+
+
+def encode_row(values: tuple) -> str:
+    return FIELD_SEP.join(encode_value(v) for v in values)
+
+
+def decode_row(text: str, fields: list[DDicField]) -> tuple:
+    parts = text.split(FIELD_SEP)
+    if len(parts) != len(fields):
+        raise DDicError(
+            f"corrupt encoded row: {len(parts)} parts, "
+            f"{len(fields)} fields expected"
+        )
+    return tuple(
+        decode_value(part, f.sql_type) for part, f in zip(parts, fields)
+    )
+
+
+class PoolContainer:
+    """One physical pool table holding several logical pool tables."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name.lower()
+
+    def physical_schema(self) -> TableSchema:
+        return TableSchema(self.name, [
+            Column("tabname", SqlType.char(16), nullable=False),
+            Column("varkey", SqlType.varchar(64), nullable=False),
+            Column("vardata", SqlType.varchar(512), nullable=False),
+        ], primary_key=["tabname", "varkey"])
+
+    @staticmethod
+    def varkey_of(table: DDicTable, row: tuple) -> str:
+        """Flatten MANDT + logical key fields into the VARKEY string.
+
+        ``row`` is the full logical row *including* the leading MANDT.
+        """
+        parts = [encode_value(row[0])]
+        for f in table.key_fields:
+            parts.append(encode_value(row[1 + table.field_index(f.name)]))
+        return "|".join(parts)
+
+    def physical_row(self, table: DDicTable, row: tuple) -> tuple:
+        return (table.name, self.varkey_of(table, row), encode_row(row))
+
+    @staticmethod
+    def decode(table: DDicTable, vardata: str) -> tuple:
+        """Logical row (incl. MANDT) from a VARDATA string."""
+        mandt_field = DDicField("mandt", SqlType.char(3))
+        return decode_row(vardata, [mandt_field] + table.fields)
+
+
+class ClusterContainer:
+    """One physical cluster table for one (or more) logical tables.
+
+    ``key_fields`` are the cluster key columns *after* MANDT; the
+    physical primary key is (MANDT, <key fields>, PAGNO).
+    """
+
+    def __init__(self, name: str, key_fields: list[DDicField]) -> None:
+        self.name = name.lower()
+        self.key_fields = key_fields
+
+    def physical_schema(self) -> TableSchema:
+        columns = [Column("mandt", SqlType.char(3), nullable=False)]
+        columns.extend(
+            Column(f.name.lower(), f.sql_type, nullable=False)
+            for f in self.key_fields
+        )
+        columns.append(Column("pagno", SqlType.integer(), nullable=False))
+        columns.append(
+            Column("vardata", SqlType.varchar(CLUSTER_PAGE_CHARS),
+                   nullable=False)
+        )
+        keys = ["mandt"] + [f.name.lower() for f in self.key_fields] + \
+            ["pagno"]
+        return TableSchema(self.name, columns, primary_key=keys)
+
+    def physical_rows(self, mandt: str, cluster_key: tuple,
+                      logical_rows: list[tuple]) -> list[tuple]:
+        """Pack logical rows (without MANDT) into physical page rows."""
+        pages: list[tuple] = []
+        current: list[str] = []
+        current_len = 0
+        pagno = 0
+
+        def flush() -> None:
+            nonlocal pagno, current, current_len
+            if current:
+                pages.append(
+                    (mandt, *cluster_key, pagno, ROW_SEP.join(current))
+                )
+                pagno += 1
+                current = []
+                current_len = 0
+
+        for row in logical_rows:
+            encoded = encode_row(row)
+            if current_len + len(encoded) + 1 > CLUSTER_PAGE_CHARS:
+                flush()
+            current.append(encoded)
+            current_len += len(encoded) + 1
+        flush()
+        return pages
+
+    @staticmethod
+    def decode_page(table: DDicTable, vardata: str) -> Iterator[tuple]:
+        """Logical rows (without MANDT) from one physical page."""
+        if not vardata:
+            return
+        for encoded in vardata.split(ROW_SEP):
+            yield decode_row(encoded, table.fields)

@@ -1,0 +1,332 @@
+"""Native SQL (EXEC SQL) reports, Release 2.2G.
+
+In 2.2 KONV is a cluster table, invisible to EXEC SQL.  Queries that
+need pricing conditions are therefore *broken down* (paper
+Section 3.4.3): the transparent part runs as one EXEC SQL join —
+ordered by document number for cluster locality — and the KONV part is
+merged in the application server through per-document Open SQL cluster
+reads, followed by EXTRACT/SORT grouping.  Queries that never touch
+KONV are identical to their 3.0 counterparts.
+"""
+
+from __future__ import annotations
+
+from repro.r3.abap import InternalTable, group_aggregate
+from repro.r3.appserver import R3System
+from repro.reports import common as cm
+from repro.reports import native30
+from repro.reports.common import KeyCodec, KonvLookup
+from repro.reports.native30 import _J_VBAK, _J_VBEP, _m
+
+# KONV-free queries: byte-identical to the 3.0 Native reports.
+q2 = native30.q2
+q4 = native30.q4
+q11 = native30.q11
+q12 = native30.q12
+q13 = native30.q13
+q16 = native30.q16
+q17 = native30.q17
+
+
+def q1(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.vbeln, p.posnr, p.kwmeng, p.netwr, p.rkflg, p.gbsta,
+               k.knumv
+        FROM vbap p, vbep e, vbak k
+        WHERE {_m(c, 'p', 'e', 'k')} AND {_J_VBEP} AND {_J_VBAK}
+          AND e.edatu <= DATE '1998-12-01' - INTERVAL '90' DAY
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for vbeln, posnr, kwmeng, netwr, rkflg, gbsta, knumv in result.rows:
+        r3.charge_abap(1)
+        conditions = konv.conditions(knumv)[posnr]
+        records.append((rkflg, gbsta, kwmeng, netwr,
+                        conditions["disc"], conditions["tax"]))
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        count = len(group)
+        sum_qty = sum(g[2] for g in group)
+        sum_base = sum(g[3] for g in group)
+        sum_disc = sum(g[3] * (1 - g[4]) for g in group)
+        sum_charge = sum(g[3] * (1 - g[4]) * (1 + g[5]) for g in group)
+        avg_disc = sum(g[4] for g in group) / count
+        return key + (sum_qty, sum_base, sum_disc, sum_charge,
+                      sum_qty / count, sum_base / count, avg_disc, count)
+
+    return sorted(group_aggregate(r3, records,
+                                  lambda g: (g[0], g[1]), fold))
+
+
+def q3(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.vbeln, p.posnr, p.netwr, k.audat, k.sprio, k.knumv
+        FROM kna1 cu, vbak k, vbap p, vbep e
+        WHERE {_m(c, 'cu', 'k', 'p', 'e')}
+          AND cu.brsch = 'BUILDING' AND cu.kunnr = k.kunnr
+          AND {_J_VBAK} AND {_J_VBEP}
+          AND k.audat < DATE '1995-03-15' AND e.edatu > DATE '1995-03-15'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for vbeln, posnr, netwr, audat, sprio, knumv in result.rows:
+        r3.charge_abap(1)
+        revenue = netwr * (1 - konv.disc(knumv, posnr))
+        records.append((vbeln, audat, sprio, revenue))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0], g[1], g[2]),
+        lambda key, group: (KeyCodec.orderkey(key[0]),
+                            sum(g[3] for g in group), key[1], key[2]),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1], g[2]), via_disk=False)
+    return itab.rows[:10]
+
+
+def q5(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt.landx, p.netwr, p.vbeln, p.posnr, k.knumv
+        FROM kna1 cu, vbak k, vbap p, lfa1 s, t005 n, t005t nt, t005u r
+        WHERE {_m(c, 'cu', 'k', 'p', 's', 'n', 'nt', 'r')}
+          AND cu.kunnr = k.kunnr AND {_J_VBAK} AND p.lifnr = s.lifnr
+          AND cu.land1 = s.land1 AND s.land1 = n.land1
+          AND nt.land1 = n.land1 AND nt.spras = 'E'
+          AND r.regio = n.regio AND r.spras = 'E' AND r.bezei = 'ASIA'
+          AND k.audat >= DATE '1994-01-01' AND k.audat < DATE '1995-01-01'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for landx, netwr, vbeln, posnr, knumv in result.rows:
+        r3.charge_abap(1)
+        records.append((landx, netwr * (1 - konv.disc(knumv, posnr))))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0],),
+        lambda key, group: key + (sum(g[1] for g in group),),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    return itab.rows
+
+
+def q6(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.vbeln, p.posnr, p.netwr, k.knumv
+        FROM vbap p, vbep e, vbak k
+        WHERE {_m(c, 'p', 'e', 'k')} AND {_J_VBEP} AND {_J_VBAK}
+          AND e.edatu >= DATE '1994-01-01' AND e.edatu < DATE '1995-01-01'
+          AND p.kwmeng < 24
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    total = 0.0
+    any_row = False
+    for vbeln, posnr, netwr, knumv in result.rows:
+        r3.charge_abap(1)
+        disc = konv.disc(knumv, posnr)
+        if 0.05 <= disc <= 0.07:
+            total += netwr * disc
+            any_row = True
+    return [(total if any_row else None,)]
+
+
+def q7(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt1.landx, nt2.landx, e.edatu, p.netwr, p.vbeln, p.posnr,
+               k.knumv
+        FROM lfa1 s, vbap p, vbep e, vbak k, kna1 cu, t005t nt1, t005t nt2
+        WHERE {_m(c, 's', 'p', 'e', 'k', 'cu', 'nt1', 'nt2')}
+          AND s.lifnr = p.lifnr AND {_J_VBAK} AND {_J_VBEP}
+          AND cu.kunnr = k.kunnr
+          AND nt1.land1 = s.land1 AND nt1.spras = 'E'
+          AND nt2.land1 = cu.land1 AND nt2.spras = 'E'
+          AND ((nt1.landx = 'FRANCE' AND nt2.landx = 'GERMANY')
+               OR (nt1.landx = 'GERMANY' AND nt2.landx = 'FRANCE'))
+          AND e.edatu BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for supp, cust, edatu, netwr, vbeln, posnr, knumv in result.rows:
+        r3.charge_abap(1)
+        records.append((supp, cust, edatu.year,
+                        netwr * (1 - konv.disc(knumv, posnr))))
+    return sorted(group_aggregate(
+        r3, records, lambda g: (g[0], g[1], g[2]),
+        lambda key, group: key + (sum(g[3] for g in group),),
+    ))
+
+
+def q8(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT k.audat, nts.landx, p.netwr, p.vbeln, p.posnr, k.knumv
+        FROM mara pa, lfa1 s, vbap p, vbak k, kna1 cu, t005 nc, t005u r,
+             t005t nts
+        WHERE {_m(c, 'pa', 's', 'p', 'k', 'cu', 'nc', 'r', 'nts')}
+          AND pa.matnr = p.matnr AND s.lifnr = p.lifnr AND {_J_VBAK}
+          AND cu.kunnr = k.kunnr AND nc.land1 = cu.land1
+          AND r.regio = nc.regio AND r.spras = 'E' AND r.bezei = 'AMERICA'
+          AND nts.land1 = s.land1 AND nts.spras = 'E'
+          AND k.audat BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+          AND pa.mtart = 'ECONOMY ANODIZED STEEL'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for audat, landx, netwr, vbeln, posnr, knumv in result.rows:
+        r3.charge_abap(1)
+        records.append((audat.year, landx,
+                        netwr * (1 - konv.disc(knumv, posnr))))
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        total = sum(g[2] for g in group)
+        brazil = sum(g[2] for g in group if g[1] == "BRAZIL")
+        return key + (brazil / total,)
+
+    return sorted(group_aggregate(r3, records, lambda g: (g[0],), fold))
+
+
+def q9(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt.landx, k.audat, p.netwr, p.kwmeng, ie.netpr, p.vbeln,
+               p.posnr, k.knumv
+        FROM mara pa, makt mk, lfa1 s, vbap p, eina ia, eine ie, vbak k,
+             t005t nt
+        WHERE {_m(c, 'pa', 'mk', 's', 'p', 'ia', 'ie', 'k', 'nt')}
+          AND s.lifnr = p.lifnr AND ia.matnr = p.matnr
+          AND ia.lifnr = p.lifnr AND ie.infnr = ia.infnr
+          AND pa.matnr = p.matnr AND mk.matnr = pa.matnr
+          AND mk.spras = 'E' AND {_J_VBAK}
+          AND nt.land1 = s.land1 AND nt.spras = 'E'
+          AND mk.maktx LIKE '%green%'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for landx, audat, netwr, kwmeng, netpr, vbeln, posnr, knumv \
+            in result.rows:
+        r3.charge_abap(1)
+        profit = netwr * (1 - konv.disc(knumv, posnr)) - netpr * kwmeng
+        records.append((landx, audat.year, profit))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0], g[1]),
+        lambda key, group: key + (sum(g[2] for g in group),),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (g[0], -g[1]), via_disk=False)
+    return itab.rows
+
+
+def q10(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT cu.kunnr, cu.name1, cu.saldo, nt.landx, cu.stras,
+               cu.telf1, st.tdline, p.netwr, p.vbeln, p.posnr, k.knumv
+        FROM kna1 cu, vbak k, vbap p, t005t nt, stxl st
+        WHERE {_m(c, 'cu', 'k', 'p', 'nt', 'st')}
+          AND cu.kunnr = k.kunnr AND {_J_VBAK}
+          AND k.audat >= DATE '1993-10-01' AND k.audat < DATE '1994-01-01'
+          AND p.rkflg = 'R'
+          AND nt.land1 = cu.land1 AND nt.spras = 'E'
+          AND st.tdobject = 'KNA1' AND st.tdname = cu.kunnr
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for (kunnr, name1, saldo, landx, stras, telf1, tdline, netwr,
+         vbeln, posnr, knumv) in result.rows:
+        r3.charge_abap(1)
+        revenue = netwr * (1 - konv.disc(knumv, posnr))
+        records.append((kunnr, name1, saldo, landx, stras, telf1,
+                        tdline, revenue))
+    grouped = group_aggregate(
+        r3, records,
+        lambda g: (g[0], g[1], g[2], g[3], g[4], g[5], g[6]),
+        lambda key, group: (
+            KeyCodec.custkey(key[0]), key[1],
+            sum(g[7] for g in group), key[2], key[3], key[4], key[5],
+            key[6],
+        ),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[2],), via_disk=False)
+    return itab.rows[:20]
+
+
+def q14(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT pa.mtart, p.netwr, p.vbeln, p.posnr, k.knumv
+        FROM vbap p, vbep e, vbak k, mara pa
+        WHERE {_m(c, 'p', 'e', 'k', 'pa')}
+          AND {_J_VBEP} AND {_J_VBAK} AND pa.matnr = p.matnr
+          AND e.edatu >= DATE '1995-09-01' AND e.edatu < DATE '1995-10-01'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    promo = total = 0.0
+    any_row = False
+    for mtart, netwr, vbeln, posnr, knumv in result.rows:
+        r3.charge_abap(1)
+        revenue = netwr * (1 - konv.disc(knumv, posnr))
+        total += revenue
+        any_row = True
+        if mtart.startswith("PROMO"):
+            promo += revenue
+    if not any_row or total == 0.0:
+        return [(None,)]
+    return [(100.0 * promo / total,)]
+
+
+def q15(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.lifnr, p.netwr, p.vbeln, p.posnr, k.knumv
+        FROM vbap p, vbep e, vbak k
+        WHERE {_m(c, 'p', 'e', 'k')} AND {_J_VBEP} AND {_J_VBAK}
+          AND e.edatu >= DATE '1996-01-01' AND e.edatu < DATE '1996-04-01'
+        ORDER BY p.vbeln
+    """)
+    konv = KonvLookup(r3)
+    records = []
+    for lifnr, netwr, vbeln, posnr, knumv in result.rows:
+        r3.charge_abap(1)
+        records.append((lifnr, netwr * (1 - konv.disc(knumv, posnr))))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0],),
+        lambda key, group: key + (sum(g[1] for g in group),),
+    )
+    if not grouped:
+        return []
+    best = max(value for _l, value in grouped)
+    out = []
+    for lifnr, value in grouped:
+        r3.charge_abap(1)
+        if value == best:
+            supplier = r3.native_sql.exec_sql(f"""
+                SELECT s.name1, s.stras, s.telf1 FROM lfa1 s
+                WHERE {_m(c, 's')} AND s.lifnr = '{lifnr}'
+            """).rows[0]
+            out.append((KeyCodec.suppkey(lifnr),) + supplier + (value,))
+    return sorted(out)
+
+
+def make_queries(scale_factor: float):
+    """{number: fn(r3) -> rows} for the Native SQL 2.2 suite."""
+    q11_fraction = 0.0001 / scale_factor
+    queries = {n: globals()[f"q{n}"] for n in range(1, 18) if n != 11}
+    queries[11] = lambda r3: q11(r3, q11_fraction)
+    return queries

@@ -1,0 +1,405 @@
+"""Native SQL (EXEC SQL) reports, Release 3.0E.
+
+With KONV converted to a transparent table, every query pushes
+completely down to the RDBMS: the reports are single EXEC SQL
+statements over the SAP schema (note how the vertical partitioning
+turns every TPC-D n-way join into a much wider join).  The only ABAP
+work left is presentation: converting SAP string keys back to the
+TPC-D integer keys.
+
+These reports are "unsafe, non-portable" in the paper's sense: they
+hard-code the MANDT client predicate and rely on the back end's SQL
+dialect.
+"""
+
+from __future__ import annotations
+
+from repro.r3.appserver import R3System
+from repro.reports.common import KeyCodec
+
+
+def _m(client: str, *aliases: str) -> str:
+    """The hand-written MANDT predicates a Native SQL author must add."""
+    return " AND ".join(f"{alias}.mandt = '{client}'" for alias in aliases)
+
+
+#: lineitem-cluster join fragments (vbap p / vbep e / vbak k / konv kd,kt)
+_J_VBEP = "e.vbeln = p.vbeln AND e.posnr = p.posnr"
+_J_VBAK = "k.vbeln = p.vbeln"
+_J_KD = "kd.knumv = k.knumv AND kd.kposn = p.posnr AND kd.kschl = 'DISC'"
+_J_KT = "kt.knumv = k.knumv AND kt.kposn = p.posnr AND kt.kschl = 'TAX'"
+
+#: l_discount == -kd.kbetr/1000, so (1 - l_discount) == (1 + kd.kbetr/1000)
+_REV = "p.netwr * (1 + kd.kbetr / 1000)"
+
+
+def q1(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.rkflg, p.gbsta,
+               SUM(p.kwmeng) AS sum_qty,
+               SUM(p.netwr) AS sum_base_price,
+               SUM({_REV}) AS sum_disc_price,
+               SUM({_REV} * (1 + kt.kbetr / 1000)) AS sum_charge,
+               AVG(p.kwmeng) AS avg_qty,
+               AVG(p.netwr) AS avg_price,
+               AVG(0 - kd.kbetr / 1000) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM vbap p, vbep e, vbak k, konv kd, konv kt
+        WHERE {_m(c, 'p', 'e', 'k', 'kd', 'kt')}
+          AND {_J_VBEP} AND {_J_VBAK} AND {_J_KD} AND {_J_KT}
+          AND e.edatu <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY p.rkflg, p.gbsta
+        ORDER BY p.rkflg, p.gbsta
+    """)
+    return list(result.rows)
+
+
+def q2(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT s.saldo, s.name1, nt.landx, p.matnr, p.mfrpn, s.stras,
+               s.telf1, st.tdline
+        FROM mara p, ausp a, eina ia, eine ie, lfa1 s, t005 n, t005t nt,
+             t005u r, stxl st
+        WHERE {_m(c, 'p', 'a', 'ia', 'ie', 's', 'n', 'nt', 'r', 'st')}
+          AND a.objek = p.matnr AND a.atinn = 'SIZE' AND a.atflv = 15
+          AND p.mtart LIKE '%BRASS'
+          AND ia.matnr = p.matnr AND ie.infnr = ia.infnr
+          AND s.lifnr = ia.lifnr AND n.land1 = s.land1
+          AND nt.land1 = n.land1 AND nt.spras = 'E'
+          AND r.regio = n.regio AND r.spras = 'E' AND r.bezei = 'EUROPE'
+          AND st.tdobject = 'LFA1' AND st.tdname = s.lifnr
+          AND ie.netpr = (
+              SELECT MIN(ie2.netpr)
+              FROM eina ia2, eine ie2, lfa1 s2, t005 n2, t005u r2
+              WHERE {_m(c, 'ia2', 'ie2', 's2', 'n2', 'r2')}
+                AND ia2.matnr = p.matnr AND ie2.infnr = ia2.infnr
+                AND s2.lifnr = ia2.lifnr AND n2.land1 = s2.land1
+                AND r2.regio = n2.regio AND r2.spras = 'E'
+                AND r2.bezei = 'EUROPE')
+        ORDER BY s.saldo DESC, nt.landx, s.name1, p.matnr
+        LIMIT 100
+    """)
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append(row[:3] + (KeyCodec.partkey(row[3]),) + row[4:])
+    return rows
+
+
+def q3(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.vbeln, SUM({_REV}) AS revenue, k.audat, k.sprio
+        FROM kna1 cu, vbak k, vbap p, vbep e, konv kd
+        WHERE {_m(c, 'cu', 'k', 'p', 'e', 'kd')}
+          AND cu.brsch = 'BUILDING' AND cu.kunnr = k.kunnr
+          AND {_J_VBAK} AND {_J_VBEP} AND {_J_KD}
+          AND k.audat < DATE '1995-03-15' AND e.edatu > DATE '1995-03-15'
+        GROUP BY p.vbeln, k.audat, k.sprio
+        ORDER BY revenue DESC, k.audat
+        LIMIT 10
+    """)
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append((KeyCodec.orderkey(row[0]),) + row[1:])
+    return rows
+
+
+def q4(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT k.prior, COUNT(*) AS order_count
+        FROM vbak k
+        WHERE {_m(c, 'k')}
+          AND k.audat >= DATE '1993-07-01' AND k.audat < DATE '1993-10-01'
+          AND EXISTS (SELECT * FROM vbap p, vbep e
+                      WHERE {_m(c, 'p', 'e')}
+                        AND p.vbeln = k.vbeln AND {_J_VBEP}
+                        AND e.mbdat < e.lfdat)
+        GROUP BY k.prior
+        ORDER BY k.prior
+    """)
+    return list(result.rows)
+
+
+def q5(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt.landx, SUM({_REV}) AS revenue
+        FROM kna1 cu, vbak k, vbap p, lfa1 s, t005 n, t005t nt, t005u r,
+             konv kd
+        WHERE {_m(c, 'cu', 'k', 'p', 's', 'n', 'nt', 'r', 'kd')}
+          AND cu.kunnr = k.kunnr AND {_J_VBAK} AND p.lifnr = s.lifnr
+          AND cu.land1 = s.land1 AND s.land1 = n.land1
+          AND nt.land1 = n.land1 AND nt.spras = 'E'
+          AND r.regio = n.regio AND r.spras = 'E' AND r.bezei = 'ASIA'
+          AND k.audat >= DATE '1994-01-01' AND k.audat < DATE '1995-01-01'
+          AND {_J_KD}
+        GROUP BY nt.landx
+        ORDER BY revenue DESC
+    """)
+    return list(result.rows)
+
+
+def q6(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT SUM(p.netwr * (0 - kd.kbetr / 1000)) AS revenue
+        FROM vbap p, vbep e, vbak k, konv kd
+        WHERE {_m(c, 'p', 'e', 'k', 'kd')}
+          AND {_J_VBEP} AND {_J_VBAK} AND {_J_KD}
+          AND e.edatu >= DATE '1994-01-01' AND e.edatu < DATE '1995-01-01'
+          AND kd.kbetr >= -70 AND kd.kbetr <= -50
+          AND p.kwmeng < 24
+    """)
+    return list(result.rows)
+
+
+def q7(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt1.landx AS supp_nation, nt2.landx AS cust_nation,
+               EXTRACT(YEAR FROM e.edatu) AS l_year,
+               SUM({_REV}) AS revenue
+        FROM lfa1 s, vbap p, vbep e, vbak k, kna1 cu, t005t nt1,
+             t005t nt2, konv kd
+        WHERE {_m(c, 's', 'p', 'e', 'k', 'cu', 'nt1', 'nt2', 'kd')}
+          AND s.lifnr = p.lifnr AND {_J_VBAK} AND {_J_VBEP}
+          AND cu.kunnr = k.kunnr
+          AND nt1.land1 = s.land1 AND nt1.spras = 'E'
+          AND nt2.land1 = cu.land1 AND nt2.spras = 'E'
+          AND ((nt1.landx = 'FRANCE' AND nt2.landx = 'GERMANY')
+               OR (nt1.landx = 'GERMANY' AND nt2.landx = 'FRANCE'))
+          AND e.edatu BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+          AND {_J_KD}
+        GROUP BY nt1.landx, nt2.landx, EXTRACT(YEAR FROM e.edatu)
+        ORDER BY supp_nation, cust_nation, l_year
+    """)
+    return list(result.rows)
+
+
+def q8(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT EXTRACT(YEAR FROM k.audat) AS o_year,
+               SUM(CASE WHEN nts.landx = 'BRAZIL' THEN {_REV}
+                        ELSE 0 END) / SUM({_REV}) AS mkt_share
+        FROM mara pa, lfa1 s, vbap p, vbak k, kna1 cu, t005 nc, t005u r,
+             t005t nts, konv kd
+        WHERE {_m(c, 'pa', 's', 'p', 'k', 'cu', 'nc', 'r', 'nts', 'kd')}
+          AND pa.matnr = p.matnr AND s.lifnr = p.lifnr AND {_J_VBAK}
+          AND cu.kunnr = k.kunnr AND nc.land1 = cu.land1
+          AND r.regio = nc.regio AND r.spras = 'E' AND r.bezei = 'AMERICA'
+          AND nts.land1 = s.land1 AND nts.spras = 'E'
+          AND k.audat BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+          AND pa.mtart = 'ECONOMY ANODIZED STEEL'
+          AND {_J_KD}
+        GROUP BY EXTRACT(YEAR FROM k.audat)
+        ORDER BY o_year
+    """)
+    return list(result.rows)
+
+
+def q9(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT nt.landx AS nation, EXTRACT(YEAR FROM k.audat) AS o_year,
+               SUM({_REV} - ie.netpr * p.kwmeng) AS sum_profit
+        FROM mara pa, makt mk, lfa1 s, vbap p, eina ia, eine ie, vbak k,
+             t005t nt, konv kd
+        WHERE {_m(c, 'pa', 'mk', 's', 'p', 'ia', 'ie', 'k', 'nt', 'kd')}
+          AND s.lifnr = p.lifnr AND ia.matnr = p.matnr
+          AND ia.lifnr = p.lifnr AND ie.infnr = ia.infnr
+          AND pa.matnr = p.matnr AND mk.matnr = pa.matnr
+          AND mk.spras = 'E' AND {_J_VBAK}
+          AND nt.land1 = s.land1 AND nt.spras = 'E'
+          AND mk.maktx LIKE '%green%'
+          AND {_J_KD}
+        GROUP BY nt.landx, EXTRACT(YEAR FROM k.audat)
+        ORDER BY nation, o_year DESC
+    """)
+    return list(result.rows)
+
+
+def q10(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT cu.kunnr, cu.name1, SUM({_REV}) AS revenue, cu.saldo,
+               nt.landx, cu.stras, cu.telf1, st.tdline
+        FROM kna1 cu, vbak k, vbap p, t005t nt, stxl st, konv kd
+        WHERE {_m(c, 'cu', 'k', 'p', 'nt', 'st', 'kd')}
+          AND cu.kunnr = k.kunnr AND {_J_VBAK}
+          AND k.audat >= DATE '1993-10-01' AND k.audat < DATE '1994-01-01'
+          AND p.rkflg = 'R'
+          AND nt.land1 = cu.land1 AND nt.spras = 'E'
+          AND st.tdobject = 'KNA1' AND st.tdname = cu.kunnr
+          AND {_J_KD}
+        GROUP BY cu.kunnr, cu.name1, cu.saldo, cu.telf1, nt.landx,
+                 cu.stras, st.tdline
+        ORDER BY revenue DESC
+        LIMIT 20
+    """)
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append((KeyCodec.custkey(row[0]),) + row[1:])
+    return rows
+
+
+def q11(r3: R3System, fraction: float) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT ia.matnr, SUM(ie.netpr * ie.avlqt) AS value
+        FROM eina ia, eine ie, lfa1 s, t005t nt
+        WHERE {_m(c, 'ia', 'ie', 's', 'nt')}
+          AND ie.infnr = ia.infnr AND s.lifnr = ia.lifnr
+          AND nt.land1 = s.land1 AND nt.spras = 'E'
+          AND nt.landx = 'GERMANY'
+        GROUP BY ia.matnr
+        HAVING SUM(ie.netpr * ie.avlqt) > (
+            SELECT SUM(ie2.netpr * ie2.avlqt) * {fraction}
+            FROM eina ia2, eine ie2, lfa1 s2, t005t nt2
+            WHERE {_m(c, 'ia2', 'ie2', 's2', 'nt2')}
+              AND ie2.infnr = ia2.infnr AND s2.lifnr = ia2.lifnr
+              AND nt2.land1 = s2.land1 AND nt2.spras = 'E'
+              AND nt2.landx = 'GERMANY')
+        ORDER BY value DESC
+    """)
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append((KeyCodec.partkey(row[0]),) + row[1:])
+    return rows
+
+
+def q12(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT p.vsart,
+               SUM(CASE WHEN k.prior = '1-URGENT' OR k.prior = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN k.prior <> '1-URGENT'
+                         AND k.prior <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM vbak k, vbap p, vbep e
+        WHERE {_m(c, 'k', 'p', 'e')}
+          AND {_J_VBAK} AND {_J_VBEP}
+          AND p.vsart IN ('MAIL', 'SHIP')
+          AND e.mbdat < e.lfdat AND e.edatu < e.mbdat
+          AND e.lfdat >= DATE '1994-01-01' AND e.lfdat < DATE '1995-01-01'
+        GROUP BY p.vsart
+        ORDER BY p.vsart
+    """)
+    return list(result.rows)
+
+
+def q13(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT k.prior, COUNT(*) AS order_count,
+               SUM(k.netwr) AS total_value
+        FROM vbak k
+        WHERE {_m(c, 'k')}
+          AND k.audat >= DATE '1995-01-01' AND k.audat < DATE '1995-04-01'
+          AND k.netwr > 250000
+        GROUP BY k.prior
+        ORDER BY k.prior
+    """)
+    return list(result.rows)
+
+
+def q14(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT 100.00 * SUM(CASE WHEN pa.mtart LIKE 'PROMO%'
+                                 THEN {_REV} ELSE 0 END)
+               / SUM({_REV}) AS promo_revenue
+        FROM vbap p, vbep e, vbak k, mara pa, konv kd
+        WHERE {_m(c, 'p', 'e', 'k', 'pa', 'kd')}
+          AND {_J_VBEP} AND {_J_VBAK} AND pa.matnr = p.matnr
+          AND e.edatu >= DATE '1995-09-01' AND e.edatu < DATE '1995-10-01'
+          AND {_J_KD}
+    """)
+    return list(result.rows)
+
+
+def q15(r3: R3System) -> list[tuple]:
+    c = r3.client
+    view_sql = f"""
+        SELECT p.lifnr AS supplier_no, SUM({_REV}) AS total_revenue
+        FROM vbap p, vbep e, vbak k, konv kd
+        WHERE {_m(c, 'p', 'e', 'k', 'kd')}
+          AND {_J_VBEP} AND {_J_VBAK} AND {_J_KD}
+          AND e.edatu >= DATE '1996-01-01' AND e.edatu < DATE '1996-04-01'
+        GROUP BY p.lifnr
+    """
+    r3.db.create_view("wrevenue", view_sql)
+    try:
+        result = r3.native_sql.exec_sql(f"""
+            SELECT s.lifnr, s.name1, s.stras, s.telf1, v.total_revenue
+            FROM lfa1 s, wrevenue v
+            WHERE {_m(c, 's')}
+              AND s.lifnr = v.supplier_no
+              AND v.total_revenue = (SELECT MAX(v2.total_revenue)
+                                     FROM wrevenue v2)
+            ORDER BY s.lifnr
+        """)
+    finally:
+        r3.db.drop_view("wrevenue")
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append((KeyCodec.suppkey(row[0]),) + row[1:])
+    return rows
+
+
+def q16(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT pa.extwg, pa.mtart, a.atflv,
+               COUNT(DISTINCT ia.lifnr) AS supplier_cnt
+        FROM eina ia, mara pa, ausp a
+        WHERE {_m(c, 'ia', 'pa', 'a')}
+          AND pa.matnr = ia.matnr
+          AND a.objek = pa.matnr AND a.atinn = 'SIZE'
+          AND pa.extwg <> 'Brand#45'
+          AND pa.mtart NOT LIKE 'MEDIUM POLISHED%'
+          AND a.atflv IN (49, 14, 23, 45, 19, 3, 36, 9)
+          AND ia.lifnr NOT IN (SELECT st.tdname FROM stxl st
+                               WHERE st.mandt = '{c}'
+                                 AND st.tdobject = 'LFA1'
+                                 AND st.tdline LIKE '%Customer%Complaints%')
+        GROUP BY pa.extwg, pa.mtart, a.atflv
+        ORDER BY supplier_cnt DESC, pa.extwg, pa.mtart, a.atflv
+    """)
+    rows = []
+    for row in result.rows:
+        r3.charge_abap(1)
+        rows.append(row[:2] + (int(row[2]), row[3]))
+    return rows
+
+
+def q17(r3: R3System) -> list[tuple]:
+    c = r3.client
+    result = r3.native_sql.exec_sql(f"""
+        SELECT SUM(p.netwr) / 7.0 AS avg_yearly
+        FROM vbap p, mara pa
+        WHERE {_m(c, 'p', 'pa')}
+          AND pa.matnr = p.matnr
+          AND pa.extwg = 'Brand#23' AND pa.magrv = 'MED BOX'
+          AND p.kwmeng < (SELECT 0.2 * AVG(p2.kwmeng) FROM vbap p2
+                          WHERE p2.mandt = '{c}'
+                            AND p2.matnr = pa.matnr)
+    """)
+    return list(result.rows)
+
+
+def make_queries(scale_factor: float):
+    """{number: fn(r3) -> rows} for the Native SQL 3.0 suite."""
+    q11_fraction = 0.0001 / scale_factor
+    queries = {n: globals()[f"q{n}"] for n in range(1, 18) if n != 11}
+    queries[11] = lambda r3: q11(r3, q11_fraction)
+    return queries

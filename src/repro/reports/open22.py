@@ -1,0 +1,636 @@
+"""Open SQL reports, Release 2.2G.
+
+No joins, no aggregates: everything beyond a single-table SELECT runs
+in the application server.  The reports use the era's idioms —
+
+* join views over transparent tables (``wvbapep`` & friends) to save
+  interface crossings where possible,
+* nested ``SELECT ... ENDSELECT`` loops (one DB round trip per outer
+  row, amortised by the cursor cache),
+* internal-table materialization with sorted binary-search reads,
+* the EXTRACT/SORT/LOOP AT END grouping idiom,
+* KONV reads through the cluster decoder (the only way to see pricing
+  conditions in 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.r3.abap import InternalTable, group_aggregate
+from repro.r3.appserver import R3System
+from repro.reports import common as cm
+from repro.reports.common import KeyCodec, KonvLookup
+
+
+class _VbakMemo:
+    """SELECT SINGLE against VBAK, memoised for the current order."""
+
+    def __init__(self, r3: R3System, fields: str) -> None:
+        self._r3 = r3
+        self._fields = fields
+        self._vbeln: str | None = None
+        self._row: tuple | None = None
+
+    def get(self, vbeln: str) -> tuple | None:
+        if vbeln != self._vbeln:
+            self._row = self._r3.open_sql.select_single(
+                f"SELECT SINGLE {self._fields} FROM vbak "
+                f"WHERE vbeln = :vbeln",
+                {"vbeln": vbeln},
+            )
+            self._vbeln = vbeln
+        return self._row
+
+
+def q1(r3: R3System) -> list[tuple]:
+    konv = KonvLookup(r3)
+    vbak = _VbakMemo(r3, "knumv")
+    lines = r3.open_sql.select(
+        "SELECT vbeln posnr kwmeng netwr rkflg gbsta FROM wvbapep "
+        "WHERE edatu <= :maxdate",
+        {"maxdate": cm.Q1_MAX_SHIPDATE},
+    )
+    records = []
+    for vbeln, posnr, kwmeng, netwr, rkflg, gbsta in lines.rows:
+        r3.charge_abap(1)
+        knumv = vbak.get(vbeln)[0]
+        conditions = konv.conditions(knumv)[posnr]
+        records.append((rkflg, gbsta, kwmeng, netwr,
+                        conditions["disc"], conditions["tax"]))
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        count = len(group)
+        sum_qty = sum(g[2] for g in group)
+        sum_base = sum(g[3] for g in group)
+        sum_disc = sum(g[3] * (1 - g[4]) for g in group)
+        sum_charge = sum(g[3] * (1 - g[4]) * (1 + g[5]) for g in group)
+        avg_disc = sum(g[4] for g in group) / count
+        return key + (sum_qty, sum_base, sum_disc, sum_charge,
+                      sum_qty / count, sum_base / count, avg_disc, count)
+
+    return sorted(group_aggregate(r3, records,
+                                  lambda g: (g[0], g[1]), fold))
+
+
+def q2(r3: R3System) -> list[tuple]:
+    europe = cm.nations_in_region(r3, "EUROPE")
+    # European suppliers with their details, keyed by LIFNR.
+    suppliers: dict[str, tuple] = {}
+    for row in r3.open_sql.select(
+            "SELECT lifnr land1 saldo name1 stras telf1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        if row[1] in europe:
+            suppliers[row[0]] = row
+    # Nested loops over purchasing info records: min cost per part.
+    min_cost: dict[str, float] = {}
+    offers: list[tuple] = []
+    for infnr, matnr, lifnr in r3.open_sql.select(
+            "SELECT infnr matnr lifnr FROM eina").rows:
+        r3.charge_abap(1)
+        if lifnr not in suppliers:
+            continue
+        eine = r3.open_sql.select_single(
+            "SELECT SINGLE netpr FROM eine WHERE infnr = :infnr",
+            {"infnr": infnr},
+        )
+        netpr = eine[0]
+        offers.append((matnr, lifnr, netpr))
+        if matnr not in min_cost or netpr < min_cost[matnr]:
+            min_cost[matnr] = netpr
+    # Candidate parts: size 15, type %BRASS.
+    parts: dict[str, tuple] = {}
+    for matnr, mtart, mfrpn in r3.open_sql.select(
+            "SELECT matnr mtart mfrpn FROM mara "
+            "WHERE mtart LIKE :ptype", {"ptype": "%BRASS"}).rows:
+        r3.charge_abap(1)
+        size = r3.open_sql.select_single(
+            "SELECT SINGLE atflv FROM ausp WHERE objek = :objek "
+            "AND atinn = 'SIZE'",
+            {"objek": matnr},
+        )
+        if size is not None and size[0] == 15.0:
+            parts[matnr] = (mtart, mfrpn)
+    picked = []
+    for matnr, lifnr, netpr in offers:
+        r3.charge_abap(1)
+        if matnr not in parts or netpr != min_cost[matnr]:
+            continue
+        _lifnr, land1, saldo, name1, stras, telf1 = suppliers[lifnr]
+        comment = cm.supplier_comment_map(r3, [lifnr])[lifnr]
+        picked.append((saldo, name1, europe[land1],
+                       KeyCodec.partkey(matnr), parts[matnr][1], stras,
+                       telf1, comment))
+    itab = InternalTable(r3)
+    itab.extend(picked)
+    itab.sort(lambda g: (-g[0], g[2], g[1], g[3]), via_disk=False)
+    return itab.rows[:100]
+
+
+def q3(r3: R3System) -> list[tuple]:
+    building = InternalTable(r3)
+    building.extend(r3.open_sql.select(
+        "SELECT kunnr FROM kna1 WHERE brsch = 'BUILDING'").rows)
+    building.sort(lambda row: (row[0],))
+    # Materialize the shippable lineitems once (internal-table idiom —
+    # re-opening the join view per order would be ruinous).
+    lines = InternalTable(r3)
+    lines.extend(r3.open_sql.select(
+        "SELECT vbeln posnr netwr FROM wvbapep WHERE edatu > :cutoff",
+        {"cutoff": cm.Q3_DATE}).rows)
+    lines.sort(lambda row: (row[0],))
+    konv = KonvLookup(r3)
+    grouped: list[tuple] = []
+    orders = r3.open_sql.select(
+        "SELECT vbeln kunnr audat sprio knumv FROM vbak "
+        "WHERE audat < :cutoff",
+        {"cutoff": cm.Q3_DATE},
+    )
+    for vbeln, kunnr, audat, sprio, knumv in orders.rows:
+        r3.charge_abap(1)
+        if building.read_binary((kunnr,)) is None:
+            continue
+        order_lines = lines.read_binary_all((vbeln,))
+        if not order_lines:
+            continue
+        revenue = 0.0
+        for _vbeln, posnr, netwr in order_lines:
+            r3.charge_abap(1)
+            revenue += netwr * (1 - konv.disc(knumv, posnr))
+        grouped.append((KeyCodec.orderkey(vbeln), revenue, audat, sprio))
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1], g[2]), via_disk=False)
+    return itab.rows[:10]
+
+
+def q4(r3: R3System) -> list[tuple]:
+    # Materialize the late order numbers once, then probe in ABAP.
+    late = InternalTable(r3)
+    late.extend(r3.open_sql.select(
+        "SELECT vbeln FROM wvbapep WHERE mbdat < lfdat").rows)
+    late.sort(lambda row: (row[0],))
+    orders = r3.open_sql.select(
+        "SELECT vbeln prior FROM vbak WHERE audat >= :lo AND audat < :hi",
+        {"lo": cm.Q4_LO, "hi": cm.Q4_HI},
+    )
+    qualifying = []
+    for vbeln, prior in orders.rows:
+        r3.charge_abap(1)
+        if late.read_binary((vbeln,)) is not None:
+            qualifying.append((prior,))
+    return sorted(group_aggregate(
+        r3, qualifying, lambda g: (g[0],),
+        lambda key, group: key + (len(group),),
+    ))
+
+
+def q5(r3: R3System) -> list[tuple]:
+    asia = cm.nations_in_region(r3, "ASIA")
+    supplier_nation: dict[str, str] = {}
+    for lifnr, land1 in r3.open_sql.select(
+            "SELECT lifnr land1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        if land1 in asia:
+            supplier_nation[lifnr] = land1
+    customer_nation: dict[str, str] = {}
+    for kunnr, land1 in r3.open_sql.select(
+            "SELECT kunnr land1 FROM kna1").rows:
+        r3.charge_abap(1)
+        if land1 in asia:
+            customer_nation[kunnr] = land1
+    konv = KonvLookup(r3)
+    records = []
+    orders = r3.open_sql.select(
+        "SELECT vbeln kunnr knumv FROM vbak "
+        "WHERE audat >= :lo AND audat < :hi",
+        {"lo": cm.Q5_LO, "hi": cm.Q5_HI},
+    )
+    for vbeln, kunnr, knumv in orders.rows:
+        r3.charge_abap(1)
+        cust_land = customer_nation.get(kunnr)
+        if cust_land is None:
+            continue
+        lines = r3.open_sql.select(
+            "SELECT posnr lifnr netwr FROM vbap WHERE vbeln = :vbeln",
+            {"vbeln": vbeln},
+        )
+        for posnr, lifnr, netwr in lines.rows:
+            r3.charge_abap(1)
+            supp_land = supplier_nation.get(lifnr)
+            if supp_land is None or supp_land != cust_land:
+                continue
+            revenue = netwr * (1 - konv.disc(knumv, posnr))
+            records.append((asia[supp_land], revenue))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0],),
+        lambda key, group: key + (sum(g[1] for g in group),),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    return itab.rows
+
+
+def q6(r3: R3System) -> list[tuple]:
+    vbak = _VbakMemo(r3, "knumv")
+    konv = KonvLookup(r3)
+    lines = r3.open_sql.select(
+        "SELECT vbeln posnr netwr FROM wvbapep "
+        "WHERE edatu >= :lo AND edatu < :hi AND kwmeng < 24",
+        {"lo": cm.Q6_LO, "hi": cm.Q6_HI},
+    )
+    total = 0.0
+    any_row = False
+    for vbeln, posnr, netwr in lines.rows:
+        r3.charge_abap(1)
+        knumv = vbak.get(vbeln)[0]
+        disc = konv.disc(knumv, posnr)
+        if 0.05 <= disc <= 0.07:
+            total += netwr * disc
+            any_row = True
+    return [(total if any_row else None,)]
+
+
+def q7(r3: R3System) -> list[tuple]:
+    names = cm.nation_names(r3)
+    fr_de = {land1: name for land1, name in names.items()
+             if name in ("FRANCE", "GERMANY")}
+    supplier_nation: dict[str, str] = {}
+    for lifnr, land1 in r3.open_sql.select(
+            "SELECT lifnr land1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        if land1 in fr_de:
+            supplier_nation[lifnr] = fr_de[land1]
+    customer_nation: dict[str, str] = {}
+    for kunnr, land1 in r3.open_sql.select(
+            "SELECT kunnr land1 FROM kna1").rows:
+        r3.charge_abap(1)
+        if land1 in fr_de:
+            customer_nation[kunnr] = fr_de[land1]
+    vbak = _VbakMemo(r3, "kunnr knumv")
+    konv = KonvLookup(r3)
+    records = []
+    lines = r3.open_sql.select(
+        "SELECT vbeln posnr lifnr netwr edatu FROM wvbapep "
+        "WHERE edatu BETWEEN :lo AND :hi",
+        {"lo": cm.Q7_LO, "hi": cm.Q7_HI},
+    )
+    for vbeln, posnr, lifnr, netwr, edatu in lines.rows:
+        r3.charge_abap(1)
+        supp_nation = supplier_nation.get(lifnr)
+        if supp_nation is None:
+            continue
+        kunnr, knumv = vbak.get(vbeln)
+        cust_nation = customer_nation.get(kunnr)
+        if cust_nation is None or cust_nation == supp_nation:
+            continue
+        revenue = netwr * (1 - konv.disc(knumv, posnr))
+        records.append((supp_nation, cust_nation, edatu.year, revenue))
+    return sorted(group_aggregate(
+        r3, records, lambda g: (g[0], g[1], g[2]),
+        lambda key, group: key + (sum(g[3] for g in group),),
+    ))
+
+
+def q8(r3: R3System) -> list[tuple]:
+    target_parts = InternalTable(r3)
+    target_parts.extend(r3.open_sql.select(
+        "SELECT matnr FROM mara WHERE mtart = :ptype",
+        {"ptype": "ECONOMY ANODIZED STEEL"}).rows)
+    target_parts.sort(lambda row: (row[0],))
+    america = cm.nations_in_region(r3, "AMERICA")
+    names = cm.nation_names(r3)
+    supplier_nation: dict[str, str] = {}
+    for lifnr, land1 in r3.open_sql.select(
+            "SELECT lifnr land1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        supplier_nation[lifnr] = names[land1]
+    customers_america: set[str] = set()
+    for kunnr, land1 in r3.open_sql.select(
+            "SELECT kunnr land1 FROM kna1").rows:
+        r3.charge_abap(1)
+        if land1 in america:
+            customers_america.add(kunnr)
+    konv = KonvLookup(r3)
+    records = []
+    orders = r3.open_sql.select(
+        "SELECT vbeln kunnr audat knumv FROM vbak "
+        "WHERE audat BETWEEN :lo AND :hi",
+        {"lo": cm.Q7_LO, "hi": cm.Q7_HI},
+    )
+    for vbeln, kunnr, audat, knumv in orders.rows:
+        r3.charge_abap(1)
+        if kunnr not in customers_america:
+            continue
+        lines = r3.open_sql.select(
+            "SELECT posnr matnr lifnr netwr FROM vbap "
+            "WHERE vbeln = :vbeln",
+            {"vbeln": vbeln},
+        )
+        for posnr, matnr, lifnr, netwr in lines.rows:
+            r3.charge_abap(1)
+            if target_parts.read_binary((matnr,)) is None:
+                continue
+            revenue = netwr * (1 - konv.disc(knumv, posnr))
+            records.append((audat.year, supplier_nation[lifnr], revenue))
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        total = sum(g[2] for g in group)
+        brazil = sum(g[2] for g in group if g[1] == "BRAZIL")
+        return key + (brazil / total,)
+
+    return sorted(group_aggregate(r3, records, lambda g: (g[0],), fold))
+
+
+def q9(r3: R3System) -> list[tuple]:
+    names = cm.nation_names(r3)
+    supplier_nation: dict[str, str] = {}
+    for lifnr, land1 in r3.open_sql.select(
+            "SELECT lifnr land1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        supplier_nation[lifnr] = names[land1]
+    green_parts = r3.open_sql.select(
+        "SELECT matnr FROM makt WHERE maktx LIKE :pname",
+        {"pname": "%green%"},
+    )
+    vbak = _VbakMemo(r3, "audat knumv")
+    konv = KonvLookup(r3)
+    supplycost: dict[tuple[str, str], float] = {}
+    records = []
+    for (matnr,) in green_parts.rows:
+        r3.charge_abap(1)
+        lines = r3.open_sql.select(
+            "SELECT vbeln posnr lifnr netwr kwmeng FROM vbap "
+            "WHERE matnr = :matnr",
+            {"matnr": matnr},
+        )
+        for vbeln, posnr, lifnr, netwr, kwmeng in lines.rows:
+            r3.charge_abap(1)
+            cost_key = (matnr, lifnr)
+            if cost_key not in supplycost:
+                eina = r3.open_sql.select_single(
+                    "SELECT SINGLE infnr FROM eina WHERE matnr = :matnr "
+                    "AND lifnr = :lifnr",
+                    {"matnr": matnr, "lifnr": lifnr},
+                )
+                eine = r3.open_sql.select_single(
+                    "SELECT SINGLE netpr FROM eine WHERE infnr = :infnr",
+                    {"infnr": eina[0]},
+                )
+                supplycost[cost_key] = eine[0]
+            audat, knumv = vbak.get(vbeln)
+            profit = (netwr * (1 - konv.disc(knumv, posnr))
+                      - supplycost[cost_key] * kwmeng)
+            records.append((supplier_nation[lifnr], audat.year, profit))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0], g[1]),
+        lambda key, group: key + (sum(g[2] for g in group),),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (g[0], -g[1]), via_disk=False)
+    return itab.rows
+
+
+def q10(r3: R3System) -> list[tuple]:
+    konv = KonvLookup(r3)
+    revenue_by_customer: dict[str, float] = {}
+    orders = r3.open_sql.select(
+        "SELECT vbeln kunnr knumv FROM vbak "
+        "WHERE audat >= :lo AND audat < :hi",
+        {"lo": cm.Q10_LO, "hi": cm.Q10_HI},
+    )
+    for vbeln, kunnr, knumv in orders.rows:
+        r3.charge_abap(1)
+        lines = r3.open_sql.select(
+            "SELECT posnr netwr FROM vbap WHERE vbeln = :vbeln "
+            "AND rkflg = 'R'",
+            {"vbeln": vbeln},
+        )
+        for posnr, netwr in lines.rows:
+            r3.charge_abap(1)
+            revenue = netwr * (1 - konv.disc(knumv, posnr))
+            revenue_by_customer[kunnr] = \
+                revenue_by_customer.get(kunnr, 0.0) + revenue
+    names = cm.nation_names(r3)
+    itab = InternalTable(r3)
+    for kunnr, revenue in revenue_by_customer.items():
+        r3.charge_abap(1)
+        itab.append((kunnr, revenue))
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    out = []
+    for kunnr, revenue in itab.rows[:20]:
+        customer = r3.open_sql.select_single(
+            "SELECT SINGLE name1 saldo land1 stras telf1 FROM kna1 "
+            "WHERE kunnr = :kunnr",
+            {"kunnr": kunnr},
+        )
+        comment = cm.customer_comment_map(r3, [kunnr])[kunnr]
+        name1, saldo, land1, stras, telf1 = customer
+        out.append((KeyCodec.custkey(kunnr), name1, revenue, saldo,
+                    names[land1], stras, telf1, comment))
+    return out
+
+
+def q11(r3: R3System, fraction: float) -> list[tuple]:
+    names = cm.nation_names(r3)
+    german: list[str] = []
+    for lifnr, land1 in r3.open_sql.select(
+            "SELECT lifnr land1 FROM lfa1").rows:
+        r3.charge_abap(1)
+        if names[land1] == "GERMANY":
+            german.append(lifnr)
+    value_by_part: dict[str, float] = {}
+    total = 0.0
+    for lifnr in german:
+        infos = r3.open_sql.select(
+            "SELECT infnr matnr FROM eina WHERE lifnr = :lifnr",
+            {"lifnr": lifnr},
+        )
+        for infnr, matnr in infos.rows:
+            r3.charge_abap(1)
+            eine = r3.open_sql.select_single(
+                "SELECT SINGLE netpr avlqt FROM eine WHERE infnr = :infnr",
+                {"infnr": infnr},
+            )
+            value = eine[0] * eine[1]
+            value_by_part[matnr] = value_by_part.get(matnr, 0.0) + value
+            total += value
+    threshold = total * fraction
+    itab = InternalTable(r3)
+    for matnr, value in value_by_part.items():
+        r3.charge_abap(1)
+        if value > threshold:
+            itab.append((KeyCodec.partkey(matnr), value))
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    return itab.rows
+
+
+def q12(r3: R3System) -> list[tuple]:
+    vbak = _VbakMemo(r3, "prior")
+    lines = r3.open_sql.select(
+        "SELECT vbeln vsart FROM wvbapep "
+        "WHERE vsart IN ('MAIL', 'SHIP') AND mbdat < lfdat "
+        "AND edatu < mbdat AND lfdat >= :lo AND lfdat < :hi",
+        {"lo": cm.Q12_LO, "hi": cm.Q12_HI},
+    )
+    records = []
+    for vbeln, vsart in lines.rows:
+        r3.charge_abap(1)
+        prior = vbak.get(vbeln)[0]
+        records.append((vsart, prior))
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        high = sum(1 for g in group if g[1] in ("1-URGENT", "2-HIGH"))
+        return key + (high, len(group) - high)
+
+    return sorted(group_aggregate(r3, records, lambda g: (g[0],), fold))
+
+
+def q13(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT prior netwr FROM vbak WHERE audat >= :lo "
+        "AND audat < :hi AND netwr > :minval",
+        {"lo": cm.Q13_LO, "hi": cm.Q13_HI, "minval": 250000.0},
+    )
+    return sorted(group_aggregate(
+        r3, rows.rows, lambda g: (g[0],),
+        lambda key, group: key + (len(group), sum(g[1] for g in group)),
+    ))
+
+
+def q14(r3: R3System) -> list[tuple]:
+    vbak = _VbakMemo(r3, "knumv")
+    konv = KonvLookup(r3)
+    mtart_cache: dict[str, str] = {}
+    lines = r3.open_sql.select(
+        "SELECT vbeln posnr matnr netwr FROM wvbapep "
+        "WHERE edatu >= :lo AND edatu < :hi",
+        {"lo": cm.Q14_LO, "hi": cm.Q14_HI},
+    )
+    promo = total = 0.0
+    any_row = False
+    for vbeln, posnr, matnr, netwr in lines.rows:
+        r3.charge_abap(1)
+        if matnr not in mtart_cache:
+            mara = r3.open_sql.select_single(
+                "SELECT SINGLE mtart FROM mara WHERE matnr = :matnr",
+                {"matnr": matnr},
+            )
+            mtart_cache[matnr] = mara[0]
+        knumv = vbak.get(vbeln)[0]
+        revenue = netwr * (1 - konv.disc(knumv, posnr))
+        total += revenue
+        any_row = True
+        if mtart_cache[matnr].startswith("PROMO"):
+            promo += revenue
+    if not any_row or total == 0.0:
+        return [(None,)]
+    return [(100.0 * promo / total,)]
+
+
+def q15(r3: R3System) -> list[tuple]:
+    vbak = _VbakMemo(r3, "knumv")
+    konv = KonvLookup(r3)
+    lines = r3.open_sql.select(
+        "SELECT vbeln posnr lifnr netwr FROM wvbapep "
+        "WHERE edatu >= :lo AND edatu < :hi",
+        {"lo": cm.Q15_LO, "hi": cm.Q15_HI},
+    )
+    records = []
+    for vbeln, posnr, lifnr, netwr in lines.rows:
+        r3.charge_abap(1)
+        knumv = vbak.get(vbeln)[0]
+        records.append((lifnr, netwr * (1 - konv.disc(knumv, posnr))))
+    grouped = group_aggregate(
+        r3, records, lambda g: (g[0],),
+        lambda key, group: key + (sum(g[1] for g in group),),
+    )
+    if not grouped:
+        return []
+    best = max(value for _l, value in grouped)
+    out = []
+    for lifnr, value in grouped:
+        r3.charge_abap(1)
+        if value == best:
+            supplier = r3.open_sql.select_single(
+                "SELECT SINGLE name1 stras telf1 FROM lfa1 "
+                "WHERE lifnr = :lifnr",
+                {"lifnr": lifnr},
+            )
+            out.append((KeyCodec.suppkey(lifnr), supplier[0],
+                        supplier[1], supplier[2], value))
+    return sorted(out)
+
+
+def q16(r3: R3System) -> list[tuple]:
+    complaints = InternalTable(r3)
+    complaints.extend(r3.open_sql.select(
+        "SELECT tdname FROM stxl WHERE tdobject = 'LFA1' "
+        "AND tdline LIKE :pat",
+        {"pat": "%Customer%Complaints%"}).rows)
+    complaints.sort(lambda row: (row[0],))
+    sizes = InternalTable(r3)
+    sizes.extend(r3.open_sql.select(
+        "SELECT objek atflv FROM ausp WHERE atinn = 'SIZE' "
+        "AND atflv IN (49, 14, 23, 45, 19, 3, 36, 9)").rows)
+    sizes.sort(lambda row: (row[0],))
+    parts = r3.open_sql.select(
+        "SELECT matnr extwg mtart FROM mara "
+        "WHERE extwg <> 'Brand#45' AND mtart NOT LIKE :ptype",
+        {"ptype": "MEDIUM POLISHED%"},
+    )
+    groups: dict[tuple, set] = {}
+    for matnr, extwg, mtart in parts.rows:
+        r3.charge_abap(1)
+        size_row = sizes.read_binary((matnr,))
+        if size_row is None:
+            continue
+        suppliers = r3.open_sql.select(
+            "SELECT lifnr FROM eina WHERE matnr = :matnr",
+            {"matnr": matnr},
+        )
+        for (lifnr,) in suppliers.rows:
+            r3.charge_abap(1)
+            if complaints.read_binary((lifnr,)) is not None:
+                continue
+            groups.setdefault((extwg, mtart, size_row[1]), set()).add(lifnr)
+    itab = InternalTable(r3)
+    for (extwg, mtart, atflv), lifnrs in groups.items():
+        r3.charge_abap(1)
+        itab.append((extwg, mtart, int(atflv), len(lifnrs)))
+    itab.sort(lambda g: (-g[3], g[0], g[1], g[2]), via_disk=False)
+    return itab.rows
+
+
+def q17(r3: R3System) -> list[tuple]:
+    parts = r3.open_sql.select(
+        "SELECT matnr FROM mara WHERE extwg = 'Brand#23' "
+        "AND magrv = :container",
+        {"container": "MED BOX"},
+    )
+    total = 0.0
+    any_row = False
+    for (matnr,) in parts.rows:
+        r3.charge_abap(1)
+        # Materialize the part's lineitems in an internal table: one
+        # pass for the average (no aggregates in 2.2!), one to filter.
+        itab = InternalTable(r3)
+        itab.extend(r3.open_sql.select(
+            "SELECT kwmeng netwr FROM vbap WHERE matnr = :matnr",
+            {"matnr": matnr}).rows)
+        if not itab.rows:
+            continue
+        avg_qty = sum(row[0] for row in itab.loop()) / len(itab)
+        for kwmeng, netwr in itab.loop():
+            if kwmeng < 0.2 * avg_qty:
+                total += netwr
+                any_row = True
+    return [(total / 7.0 if any_row else None,)]
+
+
+def make_queries(scale_factor: float):
+    """{number: fn(r3) -> rows} for the Open SQL 2.2 suite."""
+    q11_fraction = 0.0001 / scale_factor
+    queries = {n: globals()[f"q{n}"] for n in range(1, 18) if n != 11}
+    queries[11] = lambda r3: q11(r3, q11_fraction)
+    return queries

@@ -1,0 +1,513 @@
+"""Open SQL reports, Release 3.0E.
+
+The 3.0 Open SQL JOIN construct pushes all joins to the RDBMS, but:
+
+* complex aggregations (arithmetic inside SUM/AVG) cannot be
+  expressed, so those queries ship the joined rows to the application
+  server and group there with the EXTRACT/SORT idiom (paper
+  Section 4.2);
+* nested queries cannot be expressed, so the reports unnest manually —
+  which, the paper found, sometimes beats both Native SQL and the
+  isolated RDBMS (Q2/Q11/Q16) because the back end executes nested
+  queries naively.
+"""
+
+from __future__ import annotations
+
+from repro.r3.abap import InternalTable, group_aggregate
+from repro.r3.appserver import R3System
+from repro.reports import common as cm
+from repro.reports.common import KeyCodec
+
+#: lineitem-cluster Open SQL join fragment: vbap p + vbep e + vbak k +
+#: discount condition kd (extend with kt for tax)
+_L_JOIN = (
+    "FROM vbap AS p "
+    "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+    "INNER JOIN vbak AS k ON k~vbeln = p~vbeln "
+    "INNER JOIN konv AS kd ON kd~knumv = k~knumv AND kd~kposn = p~posnr"
+)
+_L_JOIN_TAX = (
+    _L_JOIN
+    + " INNER JOIN konv AS kt ON kt~knumv = k~knumv AND kt~kposn = p~posnr"
+)
+
+
+def _rev(netwr: float, kbetr: float) -> float:
+    """l_extendedprice * (1 - l_discount) from VBAP.NETWR + DISC rate."""
+    return netwr * (1 + kbetr / 1000.0)
+
+
+def q1(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~rkflg p~gbsta p~kwmeng p~netwr kd~kbetr kt~kbetr "
+        + _L_JOIN_TAX
+        + " WHERE e~edatu <= :maxdate AND kd~kschl = 'DISC'"
+          " AND kt~kschl = 'TAX'",
+        {"maxdate": cm.Q1_MAX_SHIPDATE},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        count = len(group)
+        sum_qty = sum(g[2] for g in group)
+        sum_base = sum(g[3] for g in group)
+        sum_disc = sum(_rev(g[3], g[4]) for g in group)
+        sum_charge = sum(_rev(g[3], g[4]) * (1 + g[5] / 1000) for g in group)
+        avg_disc = sum(-g[4] / 1000 for g in group) / count
+        return key + (sum_qty, sum_base, sum_disc, sum_charge,
+                      sum_qty / count, sum_base / count, avg_disc, count)
+
+    out = group_aggregate(r3, rows.rows, lambda g: (g[0], g[1]), fold)
+    return sorted(out)
+
+
+def q2(r3: R3System) -> list[tuple]:
+    # Manual unnesting: minimum cost per part first (simple MIN pushes).
+    min_tab = InternalTable(r3)
+    mins = r3.open_sql.select(
+        "SELECT ia~matnr MIN( ie~netpr ) "
+        "FROM eina AS ia "
+        "INNER JOIN eine AS ie ON ie~infnr = ia~infnr "
+        "INNER JOIN lfa1 AS s ON s~lifnr = ia~lifnr "
+        "INNER JOIN t005 AS n ON n~land1 = s~land1 "
+        "INNER JOIN t005u AS r ON r~regio = n~regio "
+        "WHERE r~spras = 'E' AND r~bezei = 'EUROPE' "
+        "GROUP BY ia~matnr"
+    )
+    min_tab.extend(mins.rows)
+    min_tab.sort(lambda row: (row[0],))
+
+    rows = r3.open_sql.select(
+        "SELECT s~saldo s~name1 nt~landx p~matnr p~mfrpn s~stras s~telf1 "
+        "st~tdline ie~netpr "
+        "FROM mara AS p "
+        "INNER JOIN ausp AS a ON a~objek = p~matnr "
+        "INNER JOIN eina AS ia ON ia~matnr = p~matnr "
+        "INNER JOIN eine AS ie ON ie~infnr = ia~infnr "
+        "INNER JOIN lfa1 AS s ON s~lifnr = ia~lifnr "
+        "INNER JOIN t005 AS n ON n~land1 = s~land1 "
+        "INNER JOIN t005t AS nt ON nt~land1 = n~land1 "
+        "INNER JOIN t005u AS r ON r~regio = n~regio "
+        "INNER JOIN stxl AS st ON st~tdname = s~lifnr "
+        "WHERE a~atinn = 'SIZE' AND a~atflv = :size "
+        "AND p~mtart LIKE :ptype AND nt~spras = 'E' "
+        "AND r~spras = 'E' AND r~bezei = 'EUROPE' "
+        "AND st~tdobject = 'LFA1'",
+        {"size": 15.0, "ptype": "%BRASS"},
+    )
+    picked = []
+    for row in rows.rows:
+        r3.charge_abap(1)
+        minimum = min_tab.read_binary((row[3],))
+        if minimum is not None and row[8] == minimum[1]:
+            picked.append(row[:8])
+    itab = InternalTable(r3)
+    itab.extend(picked)
+    itab.sort(lambda g: (-g[0], g[2], g[1], g[3]), via_disk=False)
+    return [
+        row[:3] + (KeyCodec.partkey(row[3]),) + row[4:8]
+        for row in itab.rows[:100]
+    ]
+
+
+def q3(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~vbeln k~audat k~sprio p~netwr kd~kbetr "
+        "FROM kna1 AS cu "
+        "INNER JOIN vbak AS k ON k~kunnr = cu~kunnr "
+        "INNER JOIN vbap AS p ON p~vbeln = k~vbeln "
+        "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE cu~brsch = 'BUILDING' AND k~audat < :cutoff "
+        "AND e~edatu > :cutoff AND kd~kschl = 'DISC'",
+        {"cutoff": cm.Q3_DATE},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        revenue = sum(_rev(g[3], g[4]) for g in group)
+        return (KeyCodec.orderkey(key[0]), revenue, key[1], key[2])
+
+    grouped = group_aggregate(r3, rows.rows,
+                              lambda g: (g[0], g[1], g[2]), fold)
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1], g[2]), via_disk=False)
+    return itab.rows[:10]
+
+
+def q4(r3: R3System) -> list[tuple]:
+    # Unnest the EXISTS: all late lineitems' order numbers first.
+    late = r3.open_sql.select(
+        "SELECT p~vbeln FROM vbap AS p "
+        "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+        "WHERE e~mbdat < e~lfdat"
+    )
+    late_tab = InternalTable(r3)
+    late_tab.extend(late.rows)
+    late_tab.sort(lambda row: (row[0],))
+
+    orders = r3.open_sql.select(
+        "SELECT vbeln prior FROM vbak "
+        "WHERE audat >= :lo AND audat < :hi",
+        {"lo": cm.Q4_LO, "hi": cm.Q4_HI},
+    )
+    qualifying = []
+    for vbeln, prior in orders.rows:
+        r3.charge_abap(1)
+        if late_tab.read_binary((vbeln,)) is not None:
+            qualifying.append((prior,))
+    out = group_aggregate(r3, qualifying, lambda g: (g[0],),
+                          lambda key, group: key + (len(group),))
+    return sorted(out)
+
+
+def q5(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT nt~landx p~netwr kd~kbetr "
+        "FROM kna1 AS cu "
+        "INNER JOIN vbak AS k ON k~kunnr = cu~kunnr "
+        "INNER JOIN vbap AS p ON p~vbeln = k~vbeln "
+        "INNER JOIN lfa1 AS s ON s~lifnr = p~lifnr "
+        "INNER JOIN t005 AS n ON n~land1 = s~land1 "
+        "INNER JOIN t005t AS nt ON nt~land1 = n~land1 "
+        "INNER JOIN t005u AS r ON r~regio = n~regio "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE cu~land1 = s~land1 AND nt~spras = 'E' AND r~spras = 'E' "
+        "AND r~bezei = 'ASIA' AND k~audat >= :lo AND k~audat < :hi "
+        "AND kd~kschl = 'DISC'",
+        {"lo": cm.Q5_LO, "hi": cm.Q5_HI},
+    )
+    grouped = group_aggregate(
+        r3, rows.rows, lambda g: (g[0],),
+        lambda key, group: key + (sum(_rev(g[1], g[2]) for g in group),),
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    return itab.rows
+
+
+def q6(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~netwr kd~kbetr " + _L_JOIN
+        + " WHERE e~edatu >= :lo AND e~edatu < :hi"
+          " AND kd~kschl = 'DISC'"
+          " AND kd~kbetr >= :klo AND kd~kbetr <= :khi"
+          " AND p~kwmeng < 24",
+        {"lo": cm.Q6_LO, "hi": cm.Q6_HI, "klo": -70.0, "khi": -50.0},
+    )
+    total = 0.0
+    for netwr, kbetr in rows.rows:
+        r3.charge_abap(1)
+        total += netwr * (-kbetr / 1000.0)
+    return [(total if rows.rows else None,)]
+
+
+def q7(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT nt1~landx nt2~landx e~edatu p~netwr kd~kbetr "
+        "FROM lfa1 AS s "
+        "INNER JOIN vbap AS p ON p~lifnr = s~lifnr "
+        "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+        "INNER JOIN vbak AS k ON k~vbeln = p~vbeln "
+        "INNER JOIN kna1 AS cu ON cu~kunnr = k~kunnr "
+        "INNER JOIN t005t AS nt1 ON nt1~land1 = s~land1 "
+        "INNER JOIN t005t AS nt2 ON nt2~land1 = cu~land1 "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE nt1~spras = 'E' AND nt2~spras = 'E' "
+        "AND ((nt1~landx = 'FRANCE' AND nt2~landx = 'GERMANY') "
+        "OR (nt1~landx = 'GERMANY' AND nt2~landx = 'FRANCE')) "
+        "AND e~edatu BETWEEN :lo AND :hi AND kd~kschl = 'DISC'",
+        {"lo": cm.Q7_LO, "hi": cm.Q7_HI},
+    )
+    grouped = group_aggregate(
+        r3, rows.rows, lambda g: (g[0], g[1], g[2].year),
+        lambda key, group: key + (sum(_rev(g[3], g[4]) for g in group),),
+    )
+    return sorted(grouped)
+
+
+def q8(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT k~audat nts~landx p~netwr kd~kbetr "
+        "FROM mara AS pa "
+        "INNER JOIN vbap AS p ON p~matnr = pa~matnr "
+        "INNER JOIN lfa1 AS s ON s~lifnr = p~lifnr "
+        "INNER JOIN vbak AS k ON k~vbeln = p~vbeln "
+        "INNER JOIN kna1 AS cu ON cu~kunnr = k~kunnr "
+        "INNER JOIN t005 AS nc ON nc~land1 = cu~land1 "
+        "INNER JOIN t005u AS r ON r~regio = nc~regio "
+        "INNER JOIN t005t AS nts ON nts~land1 = s~land1 "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE r~spras = 'E' AND r~bezei = 'AMERICA' "
+        "AND nts~spras = 'E' AND k~audat BETWEEN :lo AND :hi "
+        "AND pa~mtart = :ptype AND kd~kschl = 'DISC'",
+        {"lo": cm.Q7_LO, "hi": cm.Q7_HI,
+         "ptype": "ECONOMY ANODIZED STEEL"},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        total = sum(_rev(g[2], g[3]) for g in group)
+        brazil = sum(
+            _rev(g[2], g[3]) for g in group if g[1] == "BRAZIL"
+        )
+        return key + (brazil / total,)
+
+    grouped = group_aggregate(r3, rows.rows, lambda g: (g[0].year,), fold)
+    return sorted(grouped)
+
+
+def q9(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT nt~landx k~audat p~netwr kd~kbetr ie~netpr p~kwmeng "
+        "FROM mara AS pa "
+        "INNER JOIN makt AS mk ON mk~matnr = pa~matnr "
+        "INNER JOIN vbap AS p ON p~matnr = pa~matnr "
+        "INNER JOIN lfa1 AS s ON s~lifnr = p~lifnr "
+        "INNER JOIN eina AS ia ON ia~matnr = p~matnr "
+        "AND ia~lifnr = p~lifnr "
+        "INNER JOIN eine AS ie ON ie~infnr = ia~infnr "
+        "INNER JOIN vbak AS k ON k~vbeln = p~vbeln "
+        "INNER JOIN t005t AS nt ON nt~land1 = s~land1 "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE mk~spras = 'E' AND mk~maktx LIKE :pname "
+        "AND nt~spras = 'E' AND kd~kschl = 'DISC'",
+        {"pname": "%green%"},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        profit = sum(
+            _rev(g[2], g[3]) - g[4] * g[5] for g in group
+        )
+        return key + (profit,)
+
+    grouped = group_aggregate(
+        r3, rows.rows, lambda g: (g[0], g[1].year), fold
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (g[0], -g[1]), via_disk=False)
+    return itab.rows
+
+
+def q10(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT cu~kunnr cu~name1 cu~saldo nt~landx cu~stras cu~telf1 "
+        "st~tdline p~netwr kd~kbetr "
+        "FROM kna1 AS cu "
+        "INNER JOIN vbak AS k ON k~kunnr = cu~kunnr "
+        "INNER JOIN vbap AS p ON p~vbeln = k~vbeln "
+        "INNER JOIN t005t AS nt ON nt~land1 = cu~land1 "
+        "INNER JOIN stxl AS st ON st~tdname = cu~kunnr "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "WHERE k~audat >= :lo AND k~audat < :hi AND p~rkflg = 'R' "
+        "AND nt~spras = 'E' AND st~tdobject = 'KNA1' "
+        "AND kd~kschl = 'DISC'",
+        {"lo": cm.Q10_LO, "hi": cm.Q10_HI},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        revenue = sum(_rev(g[7], g[8]) for g in group)
+        return (KeyCodec.custkey(key[0]), key[1], revenue, key[2],
+                key[3], key[4], key[5], key[6])
+
+    grouped = group_aggregate(
+        r3, rows.rows,
+        lambda g: (g[0], g[1], g[2], g[3], g[4], g[5], g[6]), fold,
+    )
+    itab = InternalTable(r3)
+    itab.extend(grouped)
+    itab.sort(lambda g: (-g[2],), via_disk=False)
+    return itab.rows[:20]
+
+
+def q11(r3: R3System, fraction: float) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT ia~matnr ie~netpr ie~avlqt "
+        "FROM eina AS ia "
+        "INNER JOIN eine AS ie ON ie~infnr = ia~infnr "
+        "INNER JOIN lfa1 AS s ON s~lifnr = ia~lifnr "
+        "INNER JOIN t005t AS nt ON nt~land1 = s~land1 "
+        "WHERE nt~spras = 'E' AND nt~landx = 'GERMANY'"
+    )
+    # Manual unnesting: one pass computes the threshold, the grouped
+    # pass filters against it.
+    total = 0.0
+    for _matnr, netpr, avlqt in rows.rows:
+        r3.charge_abap(1)
+        total += netpr * avlqt
+    threshold = total * fraction
+    grouped = group_aggregate(
+        r3, rows.rows, lambda g: (g[0],),
+        lambda key, group: key + (sum(g[1] * g[2] for g in group),),
+    )
+    kept = [
+        (KeyCodec.partkey(matnr), value)
+        for matnr, value in grouped if value > threshold
+    ]
+    itab = InternalTable(r3)
+    itab.extend(kept)
+    itab.sort(lambda g: (-g[1],), via_disk=False)
+    return itab.rows
+
+
+def q12(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~vsart k~prior "
+        "FROM vbak AS k "
+        "INNER JOIN vbap AS p ON p~vbeln = k~vbeln "
+        "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+        "WHERE p~vsart IN ('MAIL', 'SHIP') "
+        "AND e~mbdat < e~lfdat AND e~edatu < e~mbdat "
+        "AND e~lfdat >= :lo AND e~lfdat < :hi",
+        {"lo": cm.Q12_LO, "hi": cm.Q12_HI},
+    )
+
+    def fold(key: tuple, group: list[tuple]) -> tuple:
+        high = sum(
+            1 for g in group if g[1] in ("1-URGENT", "2-HIGH")
+        )
+        return key + (high, len(group) - high)
+
+    grouped = group_aggregate(r3, rows.rows, lambda g: (g[0],), fold)
+    return sorted(grouped)
+
+
+def q13(r3: R3System) -> list[tuple]:
+    # Fully pushable: simple aggregates on single attributes.
+    result = r3.open_sql.select(
+        "SELECT prior COUNT( * ) SUM( netwr ) FROM vbak "
+        "WHERE audat >= :lo AND audat < :hi AND netwr > :minval "
+        "GROUP BY prior ORDER BY prior",
+        {"lo": cm.Q13_LO, "hi": cm.Q13_HI, "minval": 250000.0},
+    )
+    return list(result.rows)
+
+
+def q14(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT pa~mtart p~netwr kd~kbetr " + _L_JOIN
+        + " INNER JOIN mara AS pa ON pa~matnr = p~matnr"
+          " WHERE e~edatu >= :lo AND e~edatu < :hi AND kd~kschl = 'DISC'",
+        {"lo": cm.Q14_LO, "hi": cm.Q14_HI},
+    )
+    promo = 0.0
+    total = 0.0
+    for mtart, netwr, kbetr in rows.rows:
+        r3.charge_abap(1)
+        revenue = _rev(netwr, kbetr)
+        total += revenue
+        if mtart.startswith("PROMO"):
+            promo += revenue
+    if total == 0.0:
+        return [(None,)]
+    return [(100.0 * promo / total,)]
+
+
+def q15(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~lifnr p~netwr kd~kbetr " + _L_JOIN
+        + " WHERE e~edatu >= :lo AND e~edatu < :hi AND kd~kschl = 'DISC'",
+        {"lo": cm.Q15_LO, "hi": cm.Q15_HI},
+    )
+    grouped = group_aggregate(
+        r3, rows.rows, lambda g: (g[0],),
+        lambda key, group: key + (sum(_rev(g[1], g[2]) for g in group),),
+    )
+    if not grouped:
+        return []
+    best = max(value for _lifnr, value in grouped)
+    out = []
+    for lifnr, value in grouped:
+        r3.charge_abap(1)
+        if value == best:
+            supplier = r3.open_sql.select_single(
+                "SELECT SINGLE name1 stras telf1 FROM lfa1 "
+                "WHERE lifnr = :lifnr",
+                {"lifnr": lifnr},
+            )
+            assert supplier is not None
+            out.append((
+                KeyCodec.suppkey(lifnr), supplier[0], supplier[1],
+                supplier[2], value,
+            ))
+    return sorted(out)
+
+
+def q16(r3: R3System) -> list[tuple]:
+    complaints = r3.open_sql.select(
+        "SELECT tdname FROM stxl WHERE tdobject = 'LFA1' "
+        "AND tdline LIKE :pat",
+        {"pat": "%Customer%Complaints%"},
+    )
+    complaint_tab = InternalTable(r3)
+    complaint_tab.extend(complaints.rows)
+    complaint_tab.sort(lambda row: (row[0],))
+
+    rows = r3.open_sql.select(
+        "SELECT pa~extwg pa~mtart a~atflv ia~lifnr "
+        "FROM eina AS ia "
+        "INNER JOIN mara AS pa ON pa~matnr = ia~matnr "
+        "INNER JOIN ausp AS a ON a~objek = pa~matnr "
+        "WHERE a~atinn = 'SIZE' AND pa~extwg <> 'Brand#45' "
+        "AND pa~mtart NOT LIKE :ptype "
+        "AND a~atflv IN (49, 14, 23, 45, 19, 3, 36, 9)",
+        {"ptype": "MEDIUM POLISHED%"},
+    )
+    groups: dict[tuple, set] = {}
+    itab = InternalTable(r3)
+    for row in rows.rows:
+        itab.extract(row)
+    itab.sort(lambda g: (g[0], g[1], g[2]))
+    for extwg, mtart, atflv, lifnr in itab.rows:
+        r3.charge_abap(1)
+        if complaint_tab.read_binary((lifnr,)) is not None:
+            continue
+        groups.setdefault((extwg, mtart, atflv), set()).add(lifnr)
+    out = [
+        (extwg, mtart, int(atflv), len(lifnrs))
+        for (extwg, mtart, atflv), lifnrs in groups.items()
+    ]
+    result = InternalTable(r3)
+    result.extend(out)
+    result.sort(lambda g: (-g[3], g[0], g[1], g[2]), via_disk=False)
+    return result.rows
+
+
+def q17(r3: R3System) -> list[tuple]:
+    rows = r3.open_sql.select(
+        "SELECT p~matnr p~kwmeng p~netwr "
+        "FROM vbap AS p "
+        "INNER JOIN mara AS pa ON pa~matnr = p~matnr "
+        "WHERE pa~extwg = 'Brand#23' AND pa~magrv = :container",
+        {"container": "MED BOX"},
+    )
+    averages: dict[str, float] = {}
+    total = 0.0
+    any_row = False
+    for matnr, kwmeng, netwr in rows.rows:
+        r3.charge_abap(1)
+        if matnr not in averages:
+            avg_row = r3.open_sql.select(
+                "SELECT AVG( kwmeng ) FROM vbap WHERE matnr = :matnr",
+                {"matnr": matnr},
+            ).first()
+            averages[matnr] = avg_row[0] if avg_row else 0.0
+        if kwmeng < 0.2 * averages[matnr]:
+            total += netwr
+            any_row = True
+    return [(total / 7.0 if any_row else None,)]
+
+
+def make_queries(scale_factor: float):
+    """{number: fn(r3) -> rows} for the Open SQL 3.0 suite."""
+    q11_fraction = 0.0001 / scale_factor
+    queries = {n: globals()[f"q{n}"] for n in range(1, 18) if n != 11}
+    queries[11] = lambda r3: q11(r3, q11_fraction)
+    return queries

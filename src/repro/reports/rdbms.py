@@ -1,0 +1,24 @@
+"""The isolated-RDBMS baseline: standard SQL on the original schema.
+
+A thin adapter so every variant exposes the same ``QUERIES`` mapping
+``{number: fn(db_or_r3) -> list[tuple]}``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.tpcd.queries import build_queries, run_query
+
+
+def make_queries(scale_factor: float):
+    """{number: fn(db) -> rows} running the standard SQL suite."""
+    specs = build_queries(scale_factor)
+
+    def runner(number: int):
+        def run(db: Database) -> list[tuple]:
+            return list(run_query(db, specs[number]).rows)
+
+        run.__name__ = f"q{number}"
+        return run
+
+    return {number: runner(number) for number in specs}

@@ -1,0 +1,71 @@
+"""TPC-D update functions UF1/UF2 on SAP R/3, via batch input.
+
+Both SAP variants (Native and Open SQL) implement the update functions
+through the batch-input facility, so they show identical performance
+(paper Sections 3.4.3 / 3.4.4): each new order walks through the data
+entry screens and every consistency check before its rows are inserted
+one tuple at a time.
+"""
+
+from __future__ import annotations
+
+from repro.r3.appserver import R3System
+from repro.r3.batchinput import BatchInputSession, BatchTransaction
+from repro.sapschema.loader import order_transactions
+from repro.sapschema.mapping import KeyCodec
+from repro.tpcd.dbgen import TpcdData
+
+
+def run_uf1_sap(r3: R3System, refresh: TpcdData) -> int:
+    """UF1: insert the refresh orders through batch input."""
+    session = BatchInputSession(r3)
+    stats = session.run_all(order_transactions(refresh))
+    return stats.records_inserted
+
+
+def run_uf2_sap(r3: R3System, orderkeys: list[int]) -> int:
+    """UF2: delete orders (and their items/conditions) via batch input.
+
+    Deletions also run record-wise through transaction processing —
+    SAP validates that the order exists, then removes its VBAP/VBEP/
+    STXL/KONV rows and the header.
+    """
+    session = BatchInputSession(r3)
+    count = 0
+    for orderkey in orderkeys:
+        vbeln = KeyCodec.vbeln(orderkey)
+        knumv = KeyCodec.knumv(orderkey)
+        client = r3.client
+        transaction = BatchTransaction(
+            screens=2,
+            checks=[(
+                "SELECT SINGLE vbeln FROM vbak WHERE vbeln = :vbeln",
+                {"vbeln": vbeln},
+            )],
+            deletes=[
+                ("DELETE FROM vbap WHERE mandt = ? AND vbeln = ?",
+                 (client, vbeln)),
+                ("DELETE FROM vbep WHERE mandt = ? AND vbeln = ?",
+                 (client, vbeln)),
+                ("DELETE FROM stxl WHERE mandt = ? "
+                 "AND tdobject = 'VBBK' AND tdname = ?",
+                 (client, vbeln)),
+                ("DELETE FROM stxl WHERE mandt = ? "
+                 "AND tdobject = 'VBBP' AND tdname LIKE ?",
+                 (client, vbeln + "%")),
+                (_konv_delete_sql(r3), (client, knumv)),
+                ("DELETE FROM vbak WHERE mandt = ? AND vbeln = ?",
+                 (client, vbeln)),
+            ],
+        )
+        session.run(transaction)
+        count += 1
+    return count
+
+
+def _konv_delete_sql(r3: R3System) -> str:
+    """KONV rows live in the cluster container until the 3.0 upgrade."""
+    if r3.ddic.lookup("konv").encapsulated:
+        container = r3.ddic.lookup("konv").container
+        return f"DELETE FROM {container} WHERE mandt = ? AND knumv = ?"
+    return "DELETE FROM konv WHERE mandt = ? AND knumv = ?"

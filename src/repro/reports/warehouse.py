@@ -1,0 +1,25 @@
+"""Warehouse extraction reports (paper Table 9).
+
+Thin alias: the implementation lives in :mod:`repro.warehouse.extract`
+so the warehouse subsystem is self-contained; this module keeps the
+per-variant report layout symmetric.
+"""
+
+from repro.warehouse.extract import (
+    ExtractResult,
+    extract_all,
+    extract_customer,
+    extract_lineitem,
+    extract_nation,
+    extract_orders,
+    extract_part,
+    extract_partsupp,
+    extract_region,
+    extract_supplier,
+)
+
+__all__ = [
+    "ExtractResult", "extract_all", "extract_region", "extract_nation",
+    "extract_supplier", "extract_part", "extract_partsupp",
+    "extract_customer", "extract_orders", "extract_lineitem",
+]

@@ -1,0 +1,13 @@
+"""The TPC-D data inside SAP R/3's business schema.
+
+Implements the paper's Table 1: the 17 pre-defined SAP tables that end
+up storing the eight TPC-D tables, the vertical partitioning between
+them, the 16-byte-string key style, the default business fields that
+inflate the data ~10x, the A004 pool table and the KONV cluster table,
+and the 2.2-era join views.
+"""
+
+from repro.sapschema.tables import SAP_TABLE_INFO, activate_sap_schema
+from repro.sapschema.mapping import KeyCodec
+
+__all__ = ["SAP_TABLE_INFO", "activate_sap_schema", "KeyCodec"]

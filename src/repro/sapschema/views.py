@@ -1,0 +1,80 @@
+"""2.2-era join views.
+
+Release 2.2 Open SQL cannot express joins, but it *can* read database
+views, and SAP allows defining join views over transparent tables
+along primary/foreign-key relationships (paper Section 2.3).  The
+paper's authors "made extensive use of this feature"; these are the
+views our 2.2 reports use.  Note what is absent: nothing involving
+KONV (a cluster table in 2.2 — views over encapsulated tables are
+impossible), which is why KONV joins stay in the application server
+until the 3.0 upgrade.
+"""
+
+from __future__ import annotations
+
+from repro.r3.appserver import R3System
+
+JOIN_VIEWS: dict[str, str] = {
+    # lineitem positions with their schedule-line dates
+    "wvbapep": """
+        SELECT vbap.mandt AS mandt, vbap.vbeln AS vbeln,
+               vbap.posnr AS posnr, vbap.matnr AS matnr,
+               vbap.lifnr AS lifnr, vbap.kwmeng AS kwmeng,
+               vbap.netwr AS netwr, vbap.rkflg AS rkflg,
+               vbap.gbsta AS gbsta, vbap.vsart AS vsart,
+               vbap.sdabw AS sdabw, vbep.edatu AS edatu,
+               vbep.mbdat AS mbdat, vbep.lfdat AS lfdat
+        FROM vbap, vbep
+        WHERE vbap.mandt = vbep.mandt AND vbap.vbeln = vbep.vbeln
+          AND vbap.posnr = vbep.posnr
+    """,
+    # order headers joined to their positions
+    "wvbakap": """
+        SELECT vbak.mandt AS mandt, vbak.vbeln AS vbeln,
+               vbap.posnr AS posnr, vbak.kunnr AS kunnr,
+               vbak.audat AS audat, vbak.knumv AS knumv,
+               vbak.prior AS prior, vbak.sprio AS sprio,
+               vbak.gbstk AS gbstk, vbap.matnr AS matnr,
+               vbap.lifnr AS lifnr, vbap.kwmeng AS kwmeng,
+               vbap.netwr AS netwr, vbap.rkflg AS rkflg,
+               vbap.vsart AS vsart
+        FROM vbak, vbap
+        WHERE vbak.mandt = vbap.mandt AND vbak.vbeln = vbap.vbeln
+    """,
+    # purchasing info records with their terms
+    "weinaine": """
+        SELECT eina.mandt AS mandt, eina.infnr AS infnr,
+               eina.matnr AS matnr, eina.lifnr AS lifnr,
+               eine.netpr AS netpr, eine.avlqt AS avlqt
+        FROM eina, eine
+        WHERE eina.mandt = eine.mandt AND eina.infnr = eine.infnr
+    """,
+    # parts with their language-dependent descriptions
+    "wmaramkt": """
+        SELECT mara.mandt AS mandt, mara.matnr AS matnr,
+               mara.mtart AS mtart, mara.extwg AS extwg,
+               mara.mfrpn AS mfrpn, mara.magrv AS magrv,
+               makt.maktx AS maktx
+        FROM mara, makt
+        WHERE mara.mandt = makt.mandt AND mara.matnr = makt.matnr
+          AND makt.spras = 'E'
+    """,
+    # countries with names
+    "wt005tx": """
+        SELECT t005.mandt AS mandt, t005.land1 AS land1,
+               t005.regio AS regio, t005t.landx AS landx
+        FROM t005, t005t
+        WHERE t005.mandt = t005t.mandt AND t005.land1 = t005t.land1
+          AND t005t.spras = 'E'
+    """,
+}
+
+
+def create_sap_join_views(r3: R3System) -> list[str]:
+    """Register the 2.2 join views in the back-end catalog."""
+    created = []
+    for name, sql in JOIN_VIEWS.items():
+        if not r3.db.catalog.has_view(name):
+            r3.db.create_view(name, sql)
+            created.append(name)
+    return created

@@ -1,0 +1,17 @@
+"""Simulated hardware and time.
+
+The paper reports wall-clock minutes measured on a 1996 SPARCstation.
+Those absolute numbers are a function of hardware we do not have, so the
+reproduction replaces wall-clock time with a *counted-operation clock*:
+every component charges the operations it performs (page reads, tuple
+touches, client/server round trips, ...) to a :class:`SimulatedClock`,
+and a calibration table (:mod:`repro.core.calibration`) converts counts
+into simulated seconds.  Shapes (ratios, crossovers) are therefore a
+deterministic function of the operation counts the architecture produces.
+"""
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector
+from repro.sim.disk import DiskModel
+
+__all__ = ["SimulatedClock", "MetricsCollector", "DiskModel"]

@@ -1,0 +1,87 @@
+"""Deterministic simulated clock.
+
+All performance-relevant components charge costs (in simulated seconds)
+to a shared :class:`SimulatedClock`.  The clock supports nested *spans*
+so a harness can measure the simulated duration of a query while the
+same clock keeps accumulating globally.
+"""
+
+from __future__ import annotations
+
+
+class ClockSpan:
+    """A window over the clock; ``elapsed`` is time charged since entry."""
+
+    def __init__(self, clock: "SimulatedClock") -> None:
+        self._clock = clock
+        self._start = clock.now
+        self._end: float | None = None
+
+    def stop(self) -> float:
+        """Freeze the span and return the elapsed simulated seconds."""
+        if self._end is None:
+            self._end = self._clock.now
+        return self.elapsed
+
+    @property
+    def elapsed(self) -> float:
+        end = self._end if self._end is not None else self._clock.now
+        return end - self._start
+
+    def __enter__(self) -> "ClockSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class SimulatedClock:
+    """Accumulates simulated seconds charged by components.
+
+    The clock is purely additive and deterministic: identical operation
+    sequences always produce identical readings.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since clock creation."""
+        return self._now
+
+    def charge(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` of simulated work."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        self._now += seconds
+
+    def span(self) -> ClockSpan:
+        """Open a measurement window (usable as a context manager)."""
+        return ClockSpan(self)
+
+    def reset(self) -> None:
+        """Rewind to zero.  Only meant for harness setup, not mid-run."""
+        self._now = 0.0
+
+
+def format_duration(seconds: float) -> str:
+    """Render simulated seconds the way the paper prints durations.
+
+    The paper uses ``25d 19h 55m``, ``2h 14m 56s``, ``5m 17s``, ``34s``
+    style strings; we mirror that so benchmark output lines up visually
+    with the published tables.
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    total = int(round(seconds))
+    days, rem = divmod(total, 86400)
+    hours, rem = divmod(rem, 3600)
+    minutes, secs = divmod(rem, 60)
+    if days:
+        return f"{days}d {hours}h {minutes:02d}m"
+    if hours:
+        return f"{hours}h {minutes:02d}m {secs:02d}s"
+    if minutes:
+        return f"{minutes}m {secs:02d}s"
+    return f"{secs}s"

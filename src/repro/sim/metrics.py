@@ -1,0 +1,60 @@
+"""Named operation counters with scoped snapshots.
+
+Every layer of the stack counts what it does (pages read, tuples
+shipped, round trips, cache hits, ...).  Counters feed both the
+simulated clock (via the calibration table) and the experiment reports
+(e.g. hit ratios in the paper's Table 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+
+class MetricsSnapshot:
+    """Delta view of a :class:`MetricsCollector` since snapshot creation."""
+
+    def __init__(self, collector: "MetricsCollector") -> None:
+        self._collector = collector
+        self._base = Counter(collector._counts)
+
+    def delta(self) -> dict[str, float]:
+        """Counter deltas accumulated since the snapshot was taken."""
+        current = self._collector._counts
+        out: dict[str, float] = {}
+        for name, value in current.items():
+            change = value - self._base.get(name, 0)
+            if change:
+                out[name] = change
+        return out
+
+    def get(self, name: str) -> float:
+        return self._collector._counts.get(name, 0) - self._base.get(name, 0)
+
+
+class MetricsCollector:
+    """A bag of named, monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (default 1)."""
+        self._counts[name] += amount
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Mark the current state; deltas are measured against it."""
+        return MetricsSnapshot(self)
+
+    def all(self) -> dict[str, float]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._counts.items()))

@@ -1,0 +1,65 @@
+"""All cost-model constants, in one dataclass.
+
+These are the only tunables in the reproduction.  The default values
+are calibrated (see ``repro.core.calibration``) so that operation-count
+ratios land in the neighbourhood of the paper's 1996 measurements; the
+*shape* of every result is a function of counted operations, not of
+these constants, so reasonable perturbations preserve every conclusion
+(exercised by the calibration-robustness tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimParams:
+    """Simulated-cost constants shared by the engine and the R/3 layer."""
+
+    # ---- storage ----------------------------------------------------
+    page_size_bytes: int = 8192
+    #: default buffer pool: the paper's SAP default of 10 MB
+    buffer_pool_bytes: int = 10 * 1024 * 1024
+
+    # ---- disk (mid-1990s SCSI disk) ----------------------------------
+    seq_read_s: float = 0.0015
+    random_read_s: float = 0.012
+    write_s: float = 0.010
+    buffer_hit_s: float = 0.00002
+
+    # ---- engine CPU ---------------------------------------------------
+    tuple_cpu_s: float = 0.00002
+    index_traverse_s: float = 0.00005
+    sort_cmp_s: float = 0.000004
+    #: working memory for sorts/hash joins before spilling
+    work_mem_bytes: int = 4 * 1024 * 1024
+
+    # ---- SQL front end ---------------------------------------------------
+    #: parse + optimize cost per (non-cached) statement compilation
+    plan_cpu_s: float = 0.004
+
+    # ---- client/server interface (SAP app server <-> RDBMS) -----------
+    roundtrip_s: float = 0.0020
+    ship_tuple_s: float = 0.00004
+    ship_byte_s: float = 0.0000002
+
+    # ---- ABAP interpreter ---------------------------------------------
+    abap_row_s: float = 0.00012
+    abap_extract_s: float = 0.00008
+    pool_decode_s: float = 0.00010
+
+    # ---- table buffering in the app server -----------------------------
+    cache_lookup_s: float = 0.000030
+    cache_insert_s: float = 0.000060
+
+    # ---- batch input ----------------------------------------------------
+    screen_s: float = 0.12
+    batch_record_overhead_s: float = 0.25
+    commit_s: float = 0.02
+
+    def pages_for_bytes(self, byte_count: int) -> int:
+        """Number of pages needed to hold ``byte_count`` bytes."""
+        if byte_count <= 0:
+            return 0
+        return -(-byte_count // self.page_size_bytes)

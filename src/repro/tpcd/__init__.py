@@ -1,0 +1,15 @@
+"""TPC-D benchmark kit: schema, data generator, queries, updates.
+
+The paper runs TPC-D 1.0 at scale factor 0.2 (300 k orders, 1.2 M
+lineitems).  This kit generates the same eight tables at any scale
+factor with a deterministic seeded generator, provides the 17-query
+power-test suite plus the two update functions, and loads either the
+original schema (for the isolated-RDBMS baseline) or feeds
+:mod:`repro.sapschema` (for the SAP variants).
+"""
+
+from repro.tpcd.dbgen import TpcdData, generate
+from repro.tpcd.schema import ORIGINAL_TABLES, create_original_schema
+
+__all__ = ["TpcdData", "generate", "ORIGINAL_TABLES",
+           "create_original_schema"]

@@ -1,0 +1,87 @@
+"""Cross-variant answer validation.
+
+The paper validated every implementation against a test database before
+measuring (Section 3.3).  We do the same: the RDBMS, Native SQL and
+Open SQL implementations of each query must agree on the result, up to
+row order where the query leaves order unspecified and floating-point
+rounding in aggregates.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Iterable
+
+
+def canonical_value(value: object, places: int = 2) -> object:
+    """Round floats; pass everything else through."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return round(value, places)
+    if isinstance(value, datetime.date):
+        return value.isoformat()
+    if isinstance(value, str):
+        return value.rstrip()
+    return value
+
+
+def canonical_rows(rows: Iterable[tuple], ordered: bool = True,
+                   places: int = 2) -> list[tuple]:
+    """Normalize rows for comparison."""
+    out = [
+        tuple(canonical_value(v, places) for v in row) for row in rows
+    ]
+    if not ordered:
+        out.sort(key=lambda r: tuple(
+            (v is None, str(type(v)), v) for v in r
+        ))
+    return out
+
+
+def _values_close(a: object, b: object, places: int) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        # Aggregation order differs between variants; allow the float
+        # accumulation noise that rounding alone can flip.
+        tolerance = max(1.5 * 10 ** -places, 1e-9 * max(abs(a), abs(b)))
+        return abs(a - b) <= tolerance
+    return a == b
+
+
+def _rows_close(left: list[tuple], right: list[tuple],
+                places: int) -> bool:
+    if len(left) != len(right):
+        return False
+    for row_a, row_b in zip(left, right):
+        if len(row_a) != len(row_b):
+            return False
+        for value_a, value_b in zip(row_a, row_b):
+            if not _values_close(value_a, value_b, places):
+                return False
+    return True
+
+
+def rows_match(a: Iterable[tuple], b: Iterable[tuple],
+               ordered: bool = True, places: int = 2) -> bool:
+    return _rows_close(
+        canonical_rows(a, ordered, places),
+        canonical_rows(b, ordered, places),
+        places,
+    )
+
+
+def assert_rows_match(a: Iterable[tuple], b: Iterable[tuple],
+                      label: str = "", ordered: bool = True,
+                      places: int = 2) -> None:
+    left = canonical_rows(a, ordered, places)
+    right = canonical_rows(b, ordered, places)
+    if not _rows_close(left, right, places):
+        differing = [
+            (row_a, row_b) for row_a, row_b in zip(left, right)
+            if not _rows_close([row_a], [row_b], places)
+        ]
+        raise AssertionError(
+            f"result mismatch {label}: {len(left)} vs {len(right)} rows; "
+            f"differing rows {differing[:3]}"
+        )

@@ -1,0 +1,39 @@
+"""TPC-D update functions UF1 (insert) and UF2 (delete).
+
+On the isolated RDBMS these run as direct tuple inserts/deletes (the
+paper's "program that directly inserts/deletes tuples into/from the
+database").  The SAP variants run through the batch-input facility
+instead — see :mod:`repro.reports.updatefuncs`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.tpcd.dbgen import TpcdData
+
+
+def run_uf1_rdbms(db: Database, refresh: TpcdData) -> int:
+    """Insert the refresh set directly into orders/lineitem."""
+    orders_table = db.catalog.table("orders")
+    lineitem_table = db.catalog.table("lineitem")
+    count = 0
+    for row in refresh.orders:
+        orders_table.insert(row)
+        count += 1
+    for row in refresh.lineitem:
+        lineitem_table.insert(row)
+        count += 1
+    return count
+
+
+def run_uf2_rdbms(db: Database, orderkeys: list[int]) -> int:
+    """Delete the given orders and their lineitems via index lookups."""
+    count = 0
+    for orderkey in orderkeys:
+        count += db.execute(
+            "DELETE FROM lineitem WHERE l_orderkey = ?", (orderkey,)
+        ).scalar()
+        count += db.execute(
+            "DELETE FROM orders WHERE o_orderkey = ?", (orderkey,)
+        ).scalar()
+    return count

@@ -1,0 +1,5 @@
+"""Data-warehouse construction from the SAP database (paper Section 5)."""
+
+from repro.warehouse.extract import ExtractResult, extract_all
+
+__all__ = ["ExtractResult", "extract_all"]

@@ -1,0 +1,229 @@
+"""Reconstructing the original TPC-D database from the SAP database.
+
+The paper's Table 9: Open SQL reports that read the SAP schema and
+write the original eight tables as ASCII files (the feed for a data
+warehouse such as SAP's EIS).  The total cost is comparable to one
+full Open SQL power test — the reason the paper concludes a warehouse
+only pays off for much heavier analytical load.
+
+Extraction runs on Release 3.0 (joins available); the LINEITEM
+reconstruction is the expensive one: it reassembles every position
+from VBAP + VBEP + VBAK + two KONV conditions + its STXL comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.r3.abap import InternalTable
+from repro.r3.appserver import R3System
+from repro.reports.common import discount_of, nation_names, tax_of
+from repro.sapschema.mapping import KeyCodec
+
+
+@dataclass
+class ExtractResult:
+    table: str
+    rows: int
+    elapsed_s: float
+    lines: list[str] = field(default_factory=list)
+
+
+def _ascii(values) -> str:
+    return "|".join("" if v is None else str(v) for v in values)
+
+
+def _stxl_map(r3: R3System, tdobject: str) -> dict[str, str]:
+    result = r3.open_sql.select(
+        "SELECT tdname tdline FROM stxl WHERE tdobject = :obj",
+        {"obj": tdobject},
+    )
+    out: dict[str, str] = {}
+    for tdname, tdline in result.rows:
+        r3.charge_abap(1)
+        out[tdname] = tdline
+    return out
+
+
+def extract_region(r3: R3System) -> list[str]:
+    result = r3.open_sql.select(
+        "SELECT regio bezei FROM t005u WHERE spras = 'E'"
+    )
+    lines = []
+    for regio, bezei in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((int(regio[1:]), bezei)))
+    return lines
+
+
+def extract_nation(r3: R3System) -> list[str]:
+    result = r3.open_sql.select(
+        "SELECT t005~land1 t005~regio t005t~landx "
+        "FROM t005 INNER JOIN t005t ON t005t~land1 = t005~land1 "
+        "WHERE t005t~spras = 'E'"
+    )
+    lines = []
+    for land1, regio, landx in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((KeyCodec.nationkey(land1), landx,
+                             int(regio[1:]))))
+    return lines
+
+
+def extract_supplier(r3: R3System) -> list[str]:
+    comments = _stxl_map(r3, "LFA1")
+    result = r3.open_sql.select(
+        "SELECT lifnr name1 stras land1 telf1 saldo FROM lfa1"
+    )
+    lines = []
+    for lifnr, name1, stras, land1, telf1, saldo in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((
+            KeyCodec.suppkey(lifnr), name1, stras,
+            KeyCodec.nationkey(land1), telf1, saldo,
+            comments.get(lifnr, ""),
+        )))
+    return lines
+
+
+def extract_part(r3: R3System) -> list[str]:
+    comments = _stxl_map(r3, "MARA")
+    # Retail prices sit behind the A004 pool table -> KONP.
+    a004 = r3.open_sql.select("SELECT matnr knumh FROM a004")
+    prices: dict[str, float] = {}
+    for matnr, knumh in a004.rows:
+        r3.charge_abap(1)
+        konp = r3.open_sql.select_single(
+            "SELECT SINGLE kbetr FROM konp WHERE knumh = :knumh",
+            {"knumh": knumh},
+        )
+        prices[matnr] = konp[0] if konp else 0.0
+    result = r3.open_sql.select(
+        "SELECT p~matnr mk~maktx p~mfrpn p~extwg p~mtart a~atflv "
+        "p~magrv "
+        "FROM mara AS p "
+        "INNER JOIN makt AS mk ON mk~matnr = p~matnr "
+        "INNER JOIN ausp AS a ON a~objek = p~matnr "
+        "WHERE mk~spras = 'E' AND a~atinn = 'SIZE'"
+    )
+    lines = []
+    for matnr, maktx, mfrpn, extwg, mtart, atflv, magrv in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((
+            KeyCodec.partkey(matnr), maktx, mfrpn, extwg, mtart,
+            int(atflv), magrv, prices.get(matnr, 0.0),
+            comments.get(matnr, ""),
+        )))
+    return lines
+
+
+def extract_partsupp(r3: R3System) -> list[str]:
+    result = r3.open_sql.select(
+        "SELECT ia~matnr ia~lifnr ie~avlqt ie~netpr "
+        "FROM eina AS ia INNER JOIN eine AS ie ON ie~infnr = ia~infnr"
+    )
+    lines = []
+    for matnr, lifnr, avlqt, netpr in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((
+            KeyCodec.partkey(matnr), KeyCodec.suppkey(lifnr), avlqt,
+            netpr,
+        )))
+    return lines
+
+
+def extract_customer(r3: R3System) -> list[str]:
+    comments = _stxl_map(r3, "KNA1")
+    result = r3.open_sql.select(
+        "SELECT kunnr name1 stras land1 telf1 saldo brsch FROM kna1"
+    )
+    lines = []
+    for kunnr, name1, stras, land1, telf1, saldo, brsch in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((
+            KeyCodec.custkey(kunnr), name1, stras,
+            KeyCodec.nationkey(land1), telf1, saldo, brsch,
+            comments.get(kunnr, ""),
+        )))
+    return lines
+
+
+def extract_orders(r3: R3System) -> list[str]:
+    comments = _stxl_map(r3, "VBBK")
+    result = r3.open_sql.select(
+        "SELECT vbeln kunnr gbstk netwr audat prior ernam sprio FROM vbak"
+    )
+    lines = []
+    for vbeln, kunnr, gbstk, netwr, audat, prior, ernam, sprio \
+            in result.rows:
+        r3.charge_abap(1)
+        lines.append(_ascii((
+            KeyCodec.orderkey(vbeln), KeyCodec.custkey(kunnr), gbstk,
+            netwr, audat, prior, ernam, sprio, comments.get(vbeln, ""),
+        )))
+    return lines
+
+
+def extract_lineitem(r3: R3System) -> list[str]:
+    comments = InternalTable(r3)
+    comments.extend(r3.open_sql.select(
+        "SELECT tdname tdline FROM stxl WHERE tdobject = 'VBBP'").rows)
+    comments.sort(lambda row: (row[0],))
+    result = r3.open_sql.select(
+        "SELECT p~vbeln p~posnr p~matnr p~lifnr p~kwmeng p~netwr "
+        "p~rkflg p~gbsta e~edatu e~mbdat e~lfdat p~sdabw p~vsart "
+        "kd~kbetr kt~kbetr "
+        "FROM vbap AS p "
+        "INNER JOIN vbep AS e ON e~vbeln = p~vbeln AND e~posnr = p~posnr "
+        "INNER JOIN vbak AS k ON k~vbeln = p~vbeln "
+        "INNER JOIN konv AS kd ON kd~knumv = k~knumv "
+        "AND kd~kposn = p~posnr "
+        "INNER JOIN konv AS kt ON kt~knumv = k~knumv "
+        "AND kt~kposn = p~posnr "
+        "WHERE kd~kschl = 'DISC' AND kt~kschl = 'TAX'"
+    )
+    lines = []
+    for (vbeln, posnr, matnr, lifnr, kwmeng, netwr, rkflg, gbsta,
+         edatu, mbdat, lfdat, sdabw, vsart, kbetr_d, kbetr_t) \
+            in result.rows:
+        r3.charge_abap(1)
+        comment_row = comments.read_binary((vbeln + posnr,))
+        lines.append(_ascii((
+            KeyCodec.orderkey(vbeln), KeyCodec.partkey(matnr),
+            KeyCodec.suppkey(lifnr), KeyCodec.linenumber(posnr),
+            kwmeng, netwr, discount_of(kbetr_d), tax_of(kbetr_t),
+            rkflg, gbsta, edatu, mbdat, lfdat, sdabw, vsart,
+            comment_row[1] if comment_row else "",
+        )))
+    return lines
+
+
+_EXTRACTORS = [
+    ("REGION", extract_region),
+    ("NATION", extract_nation),
+    ("SUPPLIER", extract_supplier),
+    ("PART", extract_part),
+    ("PARTSUPP", extract_partsupp),
+    ("CUSTOMER", extract_customer),
+    ("ORDER", extract_orders),
+    ("LINEITEM", extract_lineitem),
+]
+
+
+def extract_all(r3: R3System, keep_lines: bool = False
+                ) -> dict[str, ExtractResult]:
+    """Run all eight extraction reports; returns per-table timings."""
+    out: dict[str, ExtractResult] = {}
+    for table, extractor in _EXTRACTORS:
+        span = r3.measure()
+        lines = extractor(r3)
+        elapsed = span.stop()
+        out[table] = ExtractResult(
+            table=table, rows=len(lines), elapsed_s=elapsed,
+            lines=lines if keep_lines else [],
+        )
+    return out
+
+
+# nation_names is imported for reports that post-process extractions.
+__all__ = ["ExtractResult", "extract_all", "nation_names"]

@@ -1,0 +1,54 @@
+"""Shared fixtures: one small TPC-D world reused across the suite.
+
+Session-scoped systems are read-only from the tests' perspective:
+experiments that mutate state (update functions, batch input, loading)
+build their own throwaway systems at a smaller scale factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.powertest import build_sap_system
+from repro.r3.appserver import R3Version
+from repro.tpcd.dbgen import generate, generate_refresh_orders
+from repro.tpcd.loader import load_original
+from repro.tpcd.queries import build_queries, run_query
+
+#: the suite's shared scale factor (1500 orders, ~6000 lineitems)
+SF = 0.001
+
+
+@pytest.fixture(scope="session")
+def tpcd_data():
+    return generate(SF)
+
+
+@pytest.fixture(scope="session")
+def refresh_data(tpcd_data):
+    return generate_refresh_orders(tpcd_data)
+
+
+@pytest.fixture(scope="session")
+def rdbms_db(tpcd_data):
+    return load_original(tpcd_data)
+
+
+@pytest.fixture(scope="session")
+def reference_results(rdbms_db):
+    """{query number: rows} from the isolated-RDBMS baseline."""
+    specs = build_queries(SF)
+    return {
+        number: list(run_query(rdbms_db, specs[number]).rows)
+        for number in specs
+    }
+
+
+@pytest.fixture(scope="session")
+def r3_22(tpcd_data):
+    return build_sap_system(tpcd_data, R3Version.V22)
+
+
+@pytest.fixture(scope="session")
+def r3_30(tpcd_data):
+    return build_sap_system(tpcd_data, R3Version.V30)

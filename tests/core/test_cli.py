@@ -1,0 +1,43 @@
+"""The ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["power"])
+        assert args.sf == 0.002 and args.release == "3.0"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_all_commands_listed(self):
+        from repro.__main__ import COMMANDS
+
+        assert set(COMMANDS) == {
+            "power", "dbsize", "loading", "plan-trap", "aggregation",
+            "caching", "warehouse", "eis",
+        }
+
+
+class TestCommands:
+    def test_dbsize_runs(self, capsys):
+        assert main(["dbsize", "--sf", "0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "inflation" in out and "LINEITEM" in out
+
+    def test_loading_runs(self, capsys):
+        assert main(["loading", "--sf", "0.0003"]) == 0
+        assert "ORDER+LINEITEM" in capsys.readouterr().out
+
+    def test_power_runs(self, capsys):
+        assert main(["power", "--sf", "0.0005", "--no-updates"]) == 0
+        out = capsys.readouterr().out
+        assert "Total (quer.)" in out
+
+    def test_aggregation_runs(self, capsys):
+        assert main(["aggregation", "--sf", "0.0005"]) == 0
+        assert "match=True" in capsys.readouterr().out

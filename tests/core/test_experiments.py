@@ -1,0 +1,151 @@
+"""Shape tests: do the reproduced experiments show the paper's effects?"""
+
+import pytest
+
+from repro.core import experiments as ex
+from repro.core import paperdata
+
+
+@pytest.fixture(scope="module")
+def table2(tpcd_data, rdbms_db, r3_22):
+    return ex.table2_dbsize(data=tpcd_data, db=rdbms_db, r3=r3_22)
+
+
+class TestTable1:
+    def test_inventory_matches_paper(self):
+        rows = ex.table1_schema_mapping()
+        assert len(rows) == 17
+        names = {row[0] for row in rows}
+        assert {"KONV", "VBAP", "MARA", "STXL"} <= names
+
+
+class TestTable2:
+    def test_sap_data_is_several_times_larger(self, table2):
+        """Paper: ~10x data inflation.  Shape: well above 3x."""
+        assert table2.data_inflation > 3.0
+
+    def test_sap_indexes_are_several_times_larger(self, table2):
+        """Paper: ~8x index inflation.  Shape: well above 2x."""
+        assert table2.index_inflation > 2.0
+
+    def test_lineitem_dominates_both_databases(self, table2):
+        entities = table2.entities
+        biggest_orig = max(entities, key=lambda e: entities[e]["orig_data"])
+        biggest_sap = max(entities, key=lambda e: entities[e]["sap_data"])
+        assert biggest_orig == biggest_sap == "LINEITEM"
+
+    def test_every_entity_is_inflated(self, table2):
+        for entity, entry in table2.entities.items():
+            if entity in ("REGION", "NATION"):
+                continue  # page-granularity noise on 5/25-row tables
+            assert entry["sap_data"] > entry["orig_data"], entity
+
+    def test_paper_reported_inflations(self):
+        orig_d, orig_i = paperdata.TABLE2_TOTAL_ORIGINAL_KB
+        sap_d, sap_i = paperdata.TABLE2_TOTAL_SAP_KB
+        assert sap_d / orig_d == pytest.approx(10.4, abs=0.2)
+        assert sap_i / orig_i == pytest.approx(8.2, abs=0.2)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def timings(self):
+        return ex.table3_loading(scale_factor=0.0003)
+
+    def test_orders_dominate(self, timings):
+        other = sum(v for k, v in timings.elapsed.items()
+                    if k != "ORDER+LINEITEM")
+        assert timings.elapsed["ORDER+LINEITEM"] > 2 * other
+
+    def test_ordering_matches_paper(self, timings):
+        """PARTSUPP > PART > CUSTOMER > SUPPLIER in the paper."""
+        assert timings.elapsed["PARTSUPP"] > timings.elapsed["CUSTOMER"]
+        assert timings.elapsed["CUSTOMER"] > timings.elapsed["SUPPLIER"]
+
+
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def result(self, r3_30):
+        return ex.table6_plan_choice(r3_30)
+
+    def test_high_selectivity_fast_for_both(self, result):
+        assert result.times[("native", "high")] < 1.0
+        assert result.times[("open", "high")] < 1.0
+
+    def test_open_low_selectivity_disaster(self, result):
+        """The headline: blind parameterized plan is an order of
+        magnitude worse (paper: 4m56s vs 1h50m)."""
+        native_low = result.times[("native", "low")]
+        open_low = result.times[("open", "low")]
+        assert open_low > 10 * native_low
+
+    def test_plans_differ(self, result):
+        assert "SeqScan" in result.plans["native_low"]
+        assert "IndexRangeScan" in result.plans["open_low"]
+
+    def test_same_rows_either_way(self, result):
+        assert result.rows[("native", "low")] == \
+            result.rows[("open", "low")]
+        assert result.rows[("native", "high")] == 0
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self, r3_30):
+        return ex.table7_aggregation(r3_30)
+
+    def test_open_costs_multiple_of_native(self, result):
+        """Paper: 13m48s vs 4m11s (3.3x)."""
+        assert result.open_s > 2 * result.native_s
+
+    def test_results_identical(self, result):
+        assert result.rows_match
+
+
+class TestTable8:
+    @pytest.fixture(scope="class")
+    def result(self, r3_30):
+        return ex.table8_caching(r3_30)
+
+    def test_small_cache_is_a_wash(self, result):
+        none_cost = result.configs["none"][1]
+        small_cost = result.configs["small"][1]
+        assert small_cost == pytest.approx(none_cost, rel=0.5)
+
+    def test_large_cache_wins_big(self, result):
+        """Paper: 1h48m -> 35m (3x); the shape bound is 2x."""
+        none_cost = result.configs["none"][1]
+        large_cost = result.configs["large"][1]
+        assert none_cost > 2 * large_cost
+
+    def test_hit_ratios_ordered(self, result):
+        assert result.configs["none"][0] == 0.0
+        assert 0.0 < result.configs["small"][0] < 0.6
+        assert result.configs["large"][0] > 0.6
+
+
+class TestTable9:
+    @pytest.fixture(scope="class")
+    def results(self, r3_30):
+        return ex.table9_warehouse(r3_30)
+
+    def test_all_eight_tables_extracted(self, results, tpcd_data):
+        assert set(results) == {
+            "REGION", "NATION", "SUPPLIER", "PART", "PARTSUPP",
+            "CUSTOMER", "ORDER", "LINEITEM",
+        }
+        assert results["LINEITEM"].rows == len(tpcd_data.lineitem)
+        assert results["ORDER"].rows == len(tpcd_data.orders)
+
+    def test_lineitem_dominates_cost(self, results):
+        lineitem = results["LINEITEM"].elapsed_s
+        rest = sum(r.elapsed_s for name, r in results.items()
+                   if name != "LINEITEM")
+        assert lineitem > rest
+
+    def test_extraction_reconstructs_keys(self, r3_30, tpcd_data):
+        from repro.warehouse.extract import extract_region
+
+        lines = extract_region(r3_30)
+        keys = sorted(int(line.split("|")[0]) for line in lines)
+        assert keys == [0, 1, 2, 3, 4]

@@ -1,0 +1,46 @@
+from repro.core.results import (
+    duration_cell,
+    kb_cell,
+    ratio,
+    render_table,
+    shape_report,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert lines[3].endswith("2")
+
+    def test_non_string_cells(self):
+        text = render_table(["x"], [[42]])
+        assert "42" in text
+
+
+class TestCells:
+    def test_duration(self):
+        assert duration_cell(None) == "-"
+        assert duration_cell(65) == "1m 05s"
+
+    def test_kb(self):
+        assert kb_cell(2048) == "2"
+        assert kb_cell(10 * 1024 * 1024) == "10,240"
+
+
+class TestRatios:
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(0, 0) == 1.0
+        assert ratio(1, 0) == float("inf")
+
+    def test_shape_report(self):
+        measured = {"Q1": 10.0}
+        paper = {"Q1": 100.0}
+        base_m = {"Q1": 2.0}
+        base_p = {"Q1": 25.0}
+        report = shape_report(measured, paper, base_m, base_p, ["Q1"])
+        assert report == [("Q1", 5.0, 4.0)]

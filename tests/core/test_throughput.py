@@ -1,0 +1,69 @@
+"""Throughput-test extension (the power test's concurrent sibling)."""
+
+import pytest
+
+from repro.core.throughput import run_throughput_test
+from repro.reports import native30
+from tests.conftest import SF
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return native30.make_queries(SF)
+
+
+class TestThroughput:
+    def test_single_stream_covers_all_queries(self, r3_30, suite):
+        result = run_throughput_test(r3_30, suite, streams=1)
+        names = {name for _s, name in result.per_query}
+        assert names == {f"Q{n}" for n in range(1, 18)}
+        assert result.queries_run == 17
+        assert result.elapsed_s > 0
+
+    def test_two_streams_run_34_queries(self, r3_30, suite):
+        result = run_throughput_test(r3_30, suite, streams=2)
+        assert result.queries_run == 34
+        assert result.stream_elapsed(0) > 0
+        assert result.stream_elapsed(1) > 0
+
+    def test_queries_per_hour_metric(self, r3_30, suite):
+        result = run_throughput_test(r3_30, suite, streams=1)
+        expected = 17 * 3600.0 / result.elapsed_s
+        assert result.queries_per_hour == pytest.approx(expected)
+
+    def test_second_stream_benefits_from_warm_caches(self, r3_30,
+                                                     suite):
+        """Interleaving is not free serialization: stream 1 reuses the
+        buffer pool and cursor cache stream 0 warmed."""
+        r3_30.db.buffer_pool.clear()
+        r3_30.dbif.flush_cursor_cache()
+        cold = run_throughput_test(r3_30, suite, streams=1)
+        warm = run_throughput_test(r3_30, suite, streams=1)
+        assert warm.elapsed_s <= cold.elapsed_s
+
+    def test_stream_count_validated(self, r3_30, suite):
+        with pytest.raises(ValueError):
+            run_throughput_test(r3_30, suite, streams=0)
+        with pytest.raises(ValueError):
+            run_throughput_test(r3_30, suite, streams=99)
+
+    def test_update_stream_consumes_distinct_sets(self, tpcd_data):
+        from repro.core.powertest import build_sap_system
+        from repro.r3.appserver import R3Version
+        from repro.tpcd.dbgen import delete_keys, generate_refresh_orders
+
+        r3 = build_sap_system(tpcd_data, R3Version.V30)
+        refresh = generate_refresh_orders(tpcd_data, seed=123)
+        doomed = delete_keys(tpcd_data, seed=321)
+        result = run_throughput_test(
+            r3, native30.make_queries(SF), streams=2,
+            update_sets=[(refresh, doomed)],
+        )
+        assert result.update_s > 0
+        # inserted documents are visible afterwards
+        from repro.sapschema.mapping import KeyCodec
+
+        new_vbeln = KeyCodec.vbeln(refresh.orders[0][0])
+        assert r3.open_sql.select_single(
+            "SELECT SINGLE vbeln FROM vbak WHERE vbeln = :v",
+            {"v": new_vbeln}) is not None

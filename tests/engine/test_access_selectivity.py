@@ -1,0 +1,116 @@
+"""Unit tests of the selectivity estimators and sarg extraction."""
+
+import datetime
+
+import pytest
+
+from repro.engine.expr import (
+    BetweenExpr,
+    BinOp,
+    ColumnRef,
+    LikeExpr,
+    Literal,
+    ParamRef,
+)
+from repro.engine.plan.access import eq_sarg_value
+from repro.engine.stats import (
+    ColumnStats,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    TableStats,
+    eq_selectivity,
+    range_selectivity,
+)
+
+
+def _stats(**columns):
+    stats = TableStats(row_count=1000, analyzed=True)
+    for name, (ndv, low, high) in columns.items():
+        stats.columns[name] = ColumnStats(
+            n_distinct=ndv, min_value=low, max_value=high
+        )
+    return stats
+
+
+class TestEqSelectivity:
+    def test_one_over_ndv(self):
+        stats = _stats(c=(50, 0, 100))
+        assert eq_selectivity(stats, "c", True) == pytest.approx(0.02)
+
+    def test_ndv_works_without_the_value(self):
+        """Parameter markers don't defeat the 1/NDV estimate."""
+        stats = _stats(c=(50, 0, 100))
+        assert eq_selectivity(stats, "c", False) == pytest.approx(0.02)
+
+    def test_unanalyzed_falls_back(self):
+        assert eq_selectivity(TableStats(), "c", True) == \
+            DEFAULT_EQ_SELECTIVITY
+
+    def test_unknown_column_falls_back(self):
+        assert eq_selectivity(_stats(), "nope", True) == \
+            DEFAULT_EQ_SELECTIVITY
+
+
+class TestRangeSelectivity:
+    def test_interpolation(self):
+        stats = _stats(q=(100, 0.0, 100.0))
+        assert range_selectivity(stats, "q", "<", 25.0) == \
+            pytest.approx(0.25)
+        assert range_selectivity(stats, "q", ">", 25.0) == \
+            pytest.approx(0.75)
+
+    def test_out_of_range_clamps(self):
+        stats = _stats(q=(100, 0.0, 100.0))
+        assert range_selectivity(stats, "q", "<", -5.0) == 0.0
+        assert range_selectivity(stats, "q", "<", 500.0) == 1.0
+
+    def test_dates_interpolate(self):
+        stats = _stats(d=(100, datetime.date(1992, 1, 1),
+                          datetime.date(1998, 1, 1)))
+        mid = range_selectivity(stats, "d", "<", datetime.date(1995, 1, 1))
+        assert 0.4 < mid < 0.6
+
+    def test_unknown_value_is_blind(self):
+        """The Table 6 mechanism: None means a parameter marker."""
+        stats = _stats(q=(100, 0.0, 100.0))
+        assert range_selectivity(stats, "q", "<", None) == \
+            DEFAULT_RANGE_SELECTIVITY
+
+    def test_degenerate_domain(self):
+        stats = _stats(q=(1, 5.0, 5.0))
+        assert range_selectivity(stats, "q", "<", 5.0) == \
+            DEFAULT_RANGE_SELECTIVITY
+
+    def test_non_numeric_falls_back(self):
+        stats = _stats(s=(10, "a", "z"))
+        assert range_selectivity(stats, "s", "<", "m") == \
+            DEFAULT_RANGE_SELECTIVITY
+
+
+class TestSargExtraction:
+    def test_eq_with_literal(self):
+        conjunct = BinOp("=", ColumnRef(None, "c"), Literal(5))
+        assert eq_sarg_value(conjunct) == ("c", conjunct.right)
+
+    def test_eq_reversed_operands(self):
+        conjunct = BinOp("=", Literal(5), ColumnRef(None, "c"))
+        assert eq_sarg_value(conjunct)[0] == "c"
+
+    def test_eq_with_param(self):
+        conjunct = BinOp("=", ColumnRef(None, "c"), ParamRef(0))
+        assert eq_sarg_value(conjunct) is not None
+
+    def test_range_is_not_eq(self):
+        conjunct = BinOp("<", ColumnRef(None, "c"), Literal(5))
+        assert eq_sarg_value(conjunct) is None
+
+    def test_column_to_column_is_not_a_sarg(self):
+        conjunct = BinOp("=", ColumnRef(None, "a"), ColumnRef(None, "b"))
+        assert eq_sarg_value(conjunct) is None
+
+    def test_like_and_between_are_not_eq_sargs(self):
+        assert eq_sarg_value(
+            LikeExpr(ColumnRef(None, "c"), Literal("x%"))) is None
+        assert eq_sarg_value(
+            BetweenExpr(ColumnRef(None, "c"), Literal(1), Literal(2))
+        ) is None

@@ -1,0 +1,307 @@
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.errors import ExecutionError, PlanError
+from repro.engine.expr import (
+    BetweenExpr,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    DateArithExpr,
+    ExtractExpr,
+    FuncCall,
+    InListExpr,
+    IntervalLiteral,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NegExpr,
+    NotExpr,
+    OutputSchema,
+    ParamRef,
+    conjoin,
+    like_to_regex,
+    predicate_holds,
+    split_conjuncts,
+)
+
+SCHEMA = OutputSchema([("t", "a"), ("t", "b"), (None, "c")])
+
+
+def ev(expr, row=(1, 2, 3), params=()):
+    return expr.bind(SCHEMA).eval(row, params)
+
+
+class TestColumnResolution:
+    def test_qualified(self):
+        assert ev(ColumnRef("t", "b")) == 2
+
+    def test_unqualified(self):
+        assert ev(ColumnRef(None, "c")) == 3
+
+    def test_case_insensitive(self):
+        assert ev(ColumnRef("T", "A")) == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(PlanError):
+            ColumnRef("t", "zzz").bind(SCHEMA)
+
+    def test_ambiguous_column(self):
+        schema = OutputSchema([("x", "k"), ("y", "k")])
+        with pytest.raises(PlanError):
+            ColumnRef(None, "k").bind(schema)
+
+    def test_qualified_disambiguates(self):
+        schema = OutputSchema([("x", "k"), ("y", "k")])
+        assert schema.resolve("y", "k") == 1
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self):
+        expr = BinOp("+", ColumnRef("t", "a"), Literal(10))
+        assert ev(expr) == 11
+
+    def test_division_by_zero(self):
+        expr = BinOp("/", Literal(1), Literal(0))
+        with pytest.raises(ExecutionError):
+            ev(expr)
+
+    def test_comparisons(self):
+        assert ev(BinOp("<", ColumnRef("t", "a"), Literal(5))) is True
+        assert ev(BinOp(">=", ColumnRef("t", "b"), Literal(2))) is True
+        assert ev(BinOp("<>", Literal(1), Literal(1))) is False
+
+    def test_negation(self):
+        assert ev(NegExpr(ColumnRef("t", "a"))) == -1
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        assert ev(BinOp("=", Literal(None), Literal(1))) is None
+
+    def test_and_false_dominates_null(self):
+        expr = BinOp("AND", Literal(None), Literal(False))
+        assert ev(expr) is False
+
+    def test_and_null(self):
+        assert ev(BinOp("AND", Literal(True), Literal(None))) is None
+
+    def test_or_true_dominates_null(self):
+        assert ev(BinOp("OR", Literal(None), Literal(True))) is True
+
+    def test_or_null(self):
+        assert ev(BinOp("OR", Literal(False), Literal(None))) is None
+
+    def test_not_null(self):
+        assert ev(NotExpr(Literal(None))) is None
+
+    def test_predicate_holds_treats_null_as_false(self):
+        expr = BinOp("=", Literal(None), Literal(1)).bind(SCHEMA)
+        assert predicate_holds(expr, (), ()) is False
+
+    def test_is_null(self):
+        assert ev(IsNullExpr(Literal(None))) is True
+        assert ev(IsNullExpr(Literal(1))) is False
+        assert ev(IsNullExpr(Literal(None), negated=True)) is False
+
+    def test_in_list_with_null_candidate(self):
+        expr = InListExpr(Literal(5), [Literal(None), Literal(3)])
+        assert ev(expr) is None
+
+    def test_in_list_hit_beats_null(self):
+        expr = InListExpr(Literal(3), [Literal(None), Literal(3)])
+        assert ev(expr) is True
+
+    def test_not_in_with_null_is_null(self):
+        expr = InListExpr(Literal(5), [Literal(None)], negated=True)
+        assert ev(expr) is None
+
+    def test_between_null_bound(self):
+        expr = BetweenExpr(Literal(5), Literal(None), Literal(10))
+        assert ev(expr) is None
+
+
+class TestBetweenAndIn:
+    def test_between_inclusive(self):
+        assert ev(BetweenExpr(Literal(5), Literal(5), Literal(10))) is True
+        assert ev(BetweenExpr(Literal(10), Literal(5), Literal(10))) is True
+        assert ev(BetweenExpr(Literal(11), Literal(5), Literal(10))) is False
+
+    def test_not_between(self):
+        expr = BetweenExpr(Literal(11), Literal(5), Literal(10),
+                           negated=True)
+        assert ev(expr) is True
+
+    def test_in_list(self):
+        expr = InListExpr(ColumnRef("t", "a"),
+                          [Literal(1), Literal(9)])
+        assert ev(expr) is True
+
+    def test_not_in_list(self):
+        expr = InListExpr(Literal(7), [Literal(1)], negated=True)
+        assert ev(expr) is True
+
+
+class TestLike:
+    @pytest.mark.parametrize("pattern,text,expected", [
+        ("%BRASS", "SMALL BRASS", True),
+        ("%BRASS", "BRASS PLATED", False),
+        ("PROMO%", "PROMO TIN", True),
+        ("%green%", "dark green ivory", True),
+        ("a_c", "abc", True),
+        ("a_c", "abbc", False),
+        ("%Customer%Complaints%", "x Customer yy Complaints", True),
+        ("", "", True),
+        ("%", "anything", True),
+    ])
+    def test_patterns(self, pattern, text, expected):
+        expr = LikeExpr(Literal(text), Literal(pattern))
+        assert ev(expr) is expected
+
+    def test_not_like(self):
+        expr = LikeExpr(Literal("abc"), Literal("z%"), negated=True)
+        assert ev(expr) is True
+
+    def test_null_operand(self):
+        assert ev(LikeExpr(Literal(None), Literal("%"))) is None
+
+    def test_regex_special_chars_escaped(self):
+        assert ev(LikeExpr(Literal("a.c"), Literal("a.c"))) is True
+        assert ev(LikeExpr(Literal("abc"), Literal("a.c"))) is False
+
+    @given(st.text(alphabet="ab%_", max_size=8),
+           st.text(alphabet="ab", max_size=8))
+    def test_like_never_crashes(self, pattern, text):
+        like_to_regex(pattern).match(text)
+
+
+class TestCase:
+    def test_first_matching_branch_wins(self):
+        expr = CaseExpr(
+            [(Literal(True), Literal("x")), (Literal(True), Literal("y"))],
+            Literal("z"),
+        )
+        assert ev(expr) == "x"
+
+    def test_else(self):
+        expr = CaseExpr([(Literal(False), Literal("x"))], Literal("z"))
+        assert ev(expr) == "z"
+
+    def test_no_else_yields_null(self):
+        expr = CaseExpr([(Literal(False), Literal("x"))], None)
+        assert ev(expr) is None
+
+    def test_null_condition_skipped(self):
+        expr = CaseExpr([(Literal(None), Literal("x"))], Literal("y"))
+        assert ev(expr) == "y"
+
+
+class TestDates:
+    def test_extract(self):
+        d = Literal(datetime.date(1994, 3, 17))
+        assert ev(ExtractExpr("YEAR", d)) == 1994
+        assert ev(ExtractExpr("MONTH", d)) == 3
+        assert ev(ExtractExpr("DAY", d)) == 17
+
+    def test_extract_from_non_date(self):
+        with pytest.raises(ExecutionError):
+            ev(ExtractExpr("YEAR", Literal(5)))
+
+    def test_interval_day(self):
+        d = Literal(datetime.date(1998, 12, 1))
+        expr = DateArithExpr(d, IntervalLiteral(90, "DAY"), -1)
+        assert ev(expr) == datetime.date(1998, 9, 2)
+
+    def test_interval_month(self):
+        d = Literal(datetime.date(1993, 7, 1))
+        expr = DateArithExpr(d, IntervalLiteral(3, "MONTH"), 1)
+        assert ev(expr) == datetime.date(1993, 10, 1)
+
+    def test_interval_month_clamps_day(self):
+        d = Literal(datetime.date(1993, 1, 31))
+        expr = DateArithExpr(d, IntervalLiteral(1, "MONTH"), 1)
+        assert ev(expr) == datetime.date(1993, 2, 28)
+
+    def test_interval_year(self):
+        d = Literal(datetime.date(1994, 1, 1))
+        expr = DateArithExpr(d, IntervalLiteral(1, "YEAR"), 1)
+        assert ev(expr) == datetime.date(1995, 1, 1)
+
+    def test_interval_year_leap_day(self):
+        d = Literal(datetime.date(1996, 2, 29))
+        expr = DateArithExpr(d, IntervalLiteral(1, "YEAR"), 1)
+        assert ev(expr) == datetime.date(1997, 2, 28)
+
+    def test_bad_interval_unit(self):
+        with pytest.raises(PlanError):
+            IntervalLiteral(1, "FORTNIGHT")
+
+
+class TestFunctions:
+    def test_substring(self):
+        expr = FuncCall("SUBSTRING", [Literal("hello"), Literal(2),
+                                      Literal(3)])
+        assert ev(expr) == "ell"
+
+    def test_upper_lower(self):
+        assert ev(FuncCall("UPPER", [Literal("abc")])) == "ABC"
+        assert ev(FuncCall("LOWER", [Literal("ABC")])) == "abc"
+
+    def test_abs_round(self):
+        assert ev(FuncCall("ABS", [Literal(-4)])) == 4
+        assert ev(FuncCall("ROUND", [Literal(3.14159), Literal(2)])) == 3.14
+
+    def test_null_propagates(self):
+        assert ev(FuncCall("UPPER", [Literal(None)])) is None
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            ev(FuncCall("FROBNICATE", [Literal(1)]))
+
+
+class TestParams:
+    def test_param_lookup(self):
+        assert ev(ParamRef(1), params=("a", "b")) == "b"
+
+    def test_missing_param(self):
+        with pytest.raises(ExecutionError):
+            ev(ParamRef(3), params=())
+
+
+class TestConjunctHelpers:
+    def test_split_flattens_nested_ands(self):
+        expr = BinOp("AND", BinOp("AND", Literal(1), Literal(2)),
+                     Literal(3))
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_or_not_split(self):
+        expr = BinOp("OR", Literal(1), Literal(2))
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_conjoin_roundtrip(self):
+        parts = [Literal(True), Literal(True), Literal(False)]
+        rebuilt = conjoin(parts)
+        assert ev(rebuilt) is False
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_comparison_matches_python(a, b):
+    for op, fn in [("<", a < b), ("<=", a <= b), (">", a > b),
+                   (">=", a >= b), ("=", a == b), ("<>", a != b)]:
+        expr = BinOp(op, Literal(a), Literal(b)).bind(SCHEMA)
+        assert expr.eval((), ()) is fn
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100),
+       st.integers(-100, 100))
+def test_between_matches_python(x, lo, hi):
+    expr = BetweenExpr(Literal(x), Literal(lo), Literal(hi)).bind(SCHEMA)
+    assert expr.eval((), ()) is (lo <= x <= hi)

@@ -1,0 +1,133 @@
+"""Plan-quality tests: the optimizer behaviours the paper depends on."""
+
+import pytest
+
+from repro.engine import Column, Database, SqlType, TableSchema
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.create_table(TableSchema("big", [
+        Column("k", SqlType.integer(), nullable=False),
+        Column("grp", SqlType.integer()),
+        Column("qty", SqlType.decimal()),
+        Column("pad", SqlType.char(80)),
+    ], primary_key=["k"]))
+    database.create_table(TableSchema("small", [
+        Column("id", SqlType.integer(), nullable=False),
+        Column("label", SqlType.char(10)),
+    ], primary_key=["id"]))
+    database.create_index("idx_big_grp", "big", ["grp"])
+    database.create_index("idx_big_qty", "big", ["qty"])
+    rows = [(i, i % 1000, float(i % 500), "x" * 10) for i in range(5000)]
+    database.bulk_load("big", rows)
+    database.bulk_load("small", [(i, f"s{i}") for i in range(100)])
+    database.analyze()
+    return database
+
+
+class TestAccessPaths:
+    def test_pk_lookup_uses_index(self, db):
+        plan = db.explain("SELECT qty FROM big WHERE k = 17")
+        assert "IndexEqScan(big via pk_big)" in plan
+
+    def test_selective_secondary_index(self, db):
+        plan = db.explain("SELECT k FROM big WHERE grp = 5")
+        assert "IndexEqScan(big via idx_big_grp)" in plan
+
+    def test_non_selective_literal_range_scans(self, db):
+        plan = db.explain("SELECT k FROM big WHERE qty < 9999")
+        assert "SeqScan" in plan
+
+    def test_selective_literal_range_uses_index(self, db):
+        plan = db.explain("SELECT k FROM big WHERE qty < 1")
+        assert "IndexRangeScan(big via idx_big_qty)" in plan
+
+    def test_parameterized_range_blindly_uses_index(self, db):
+        """The Table 6 trap: param markers hide selectivity, the
+        optimizer falls back to the rule 'use the index'."""
+        plan = db.prepare("SELECT k FROM big WHERE qty < ?").explain()
+        assert "IndexRangeScan(big via idx_big_qty)" in plan
+
+    def test_results_agree_between_paths(self, db):
+        literal = db.execute("SELECT k FROM big WHERE qty < 300")
+        prepared = db.prepare("SELECT k FROM big WHERE qty < ?")
+        assert sorted(literal.rows) == \
+            sorted(prepared.execute((300,)).rows)
+
+    def test_composite_prefix_probe(self, db):
+        plan = db.explain("SELECT pad FROM big WHERE k = 5 AND grp = 5")
+        assert "IndexEqScan" in plan
+
+
+class TestJoinPlanning:
+    def test_comma_join_is_optimized(self, db):
+        plan = db.explain(
+            "SELECT label FROM big, small WHERE grp = small.id"
+        )
+        assert "HashJoin" in plan or "IndexNestedLoopJoin" in plan
+
+    def test_selective_outer_drives_index_nested_loop(self, db):
+        plan = db.explain(
+            "SELECT label, pad FROM small, big "
+            "WHERE small.id = 3 AND big.grp = small.id"
+        )
+        assert "IndexNestedLoopJoin(big via idx_big_grp)" in plan
+
+    def test_ansi_join_keeps_written_order(self, db):
+        plan = db.explain(
+            "SELECT label FROM big JOIN small ON big.grp = small.id"
+        )
+        # big stays on the left (written first); the optimizer may
+        # still pick the build side.
+        first_scan = [line for line in plan.splitlines()
+                      if "Scan" in line][0]
+        assert "big" in first_scan
+
+    def test_join_results_match_nested_loop_semantics(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM big, small WHERE grp = small.id"
+        )
+        # grp has 1000 values, small.id covers 0..99: 5 rows each.
+        assert result.scalar() == 500
+
+    def test_hash_join_build_side_is_smaller_input(self, db):
+        plan = db.explain(
+            "SELECT COUNT(*) FROM big, big b2 WHERE big.k = b2.grp"
+        )
+        assert "Join" in plan
+
+
+class TestCorrelatedPushdown:
+    def test_correlated_eq_probes_index(self, db):
+        snap = db.metrics.snapshot()
+        db.execute(
+            "SELECT COUNT(*) FROM small WHERE id < 10 AND EXISTS "
+            "(SELECT * FROM big WHERE big.grp = small.id)"
+        )
+        # Each of the 10 outer rows should probe, not scan, big.
+        assert snap.get("table.big.tuples_scanned") == 0
+
+    def test_correlated_scalar_value(self, db):
+        result = db.execute(
+            "SELECT id FROM small WHERE id = "
+            "(SELECT MIN(grp) FROM big WHERE big.grp = small.id) "
+            "AND id < 5"
+        )
+        assert sorted(result.rows) == [(0,), (1,), (2,), (3,), (4,)]
+
+
+class TestStatistics:
+    def test_analyze_records_ndv(self, db):
+        stats = db.stats["big"]
+        assert stats.columns["grp"].n_distinct == 1000
+        assert stats.columns["k"].n_distinct == 5000
+
+    def test_min_max(self, db):
+        stats = db.stats["big"]
+        assert stats.columns["qty"].min_value == 0.0
+        assert stats.columns["qty"].max_value == 499.0
+
+    def test_row_count(self, db):
+        assert db.stats["big"].row_count == 5000

@@ -1,0 +1,238 @@
+import datetime
+
+import pytest
+
+from repro.engine.errors import SqlSyntaxError
+from repro.engine.expr import (
+    AggCall,
+    BetweenExpr,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    InListExpr,
+    LikeExpr,
+    Literal,
+    ParamRef,
+    SubqueryExpr,
+)
+from repro.engine.sql.ast import (
+    DeleteStmt,
+    InsertStmt,
+    JoinRef,
+    SelectStmt,
+    Star,
+    TableRef,
+    UpdateStmt,
+)
+from repro.engine.sql.lexer import TokenKind, tokenize
+from repro.engine.sql.parser import parse_select, parse_sql
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From")
+        assert tokens[0].value == "SELECT"
+        assert tokens[1].value == "FROM"
+
+    def test_identifier_preserved(self):
+        tokens = tokenize("foo_bar")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "foo_bar"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:2]] == ["42", "3.14"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert tokens[1].kind is TokenKind.NUMBER
+
+    def test_operators(self):
+        tokens = tokenize("<> <= >= < > =")
+        assert [t.value for t in tokens[:-1]] == \
+            ["<>", "<=", ">=", "<", ">", "="]
+
+    def test_param_marker(self):
+        assert tokenize("?")[0].kind is TokenKind.PARAM
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT #")
+
+    def test_trailing_dot_not_decimal(self):
+        tokens = tokenize("1.a")
+        assert tokens[0].value == "1"
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        stmt = parse_sql("SELECT a FROM t")
+        assert isinstance(stmt, SelectStmt)
+        assert isinstance(stmt.items[0].expr, ColumnRef)
+        assert stmt.from_items[0].name == "t"
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0], Star)
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT t.* FROM t")
+        assert stmt.items[0].qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_items[0].alias == "u"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_select(
+            "SELECT a, COUNT(*) FROM t WHERE b > 1 GROUP BY a "
+            "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending is True
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_explicit_join(self):
+        stmt = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_items[0]
+        assert isinstance(join, JoinRef)
+        assert join.outer is True
+        assert isinstance(join.left, JoinRef)
+        assert join.left.outer is False
+
+    def test_comma_joins(self):
+        stmt = parse_select("SELECT * FROM a, b, c")
+        assert [item.name for item in stmt.from_items] == ["a", "b", "c"]
+
+    def test_date_literal(self):
+        stmt = parse_select("SELECT a FROM t WHERE d < DATE '1995-03-15'")
+        assert stmt.where.right.value == datetime.date(1995, 3, 15)
+
+    def test_interval_arithmetic(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE d < DATE '1994-01-01' + INTERVAL '1' YEAR"
+        )
+        value = stmt.where.right.eval((), ())
+        assert value == datetime.date(1995, 1, 1)
+
+    def test_params_numbered_in_order(self):
+        stmt = parse_select("SELECT a FROM t WHERE b = ? AND c = ?")
+        conjuncts = [stmt.where.left, stmt.where.right]
+        indexes = [c.right.index for c in conjuncts]
+        assert indexes == [0, 1]
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT a FROM t WHERE b IN (1, 2, 3)")
+        assert isinstance(stmt.where, InListExpr)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in_subquery(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE b NOT IN (SELECT c FROM u)"
+        )
+        assert isinstance(stmt.where, SubqueryExpr)
+        assert stmt.where.negated is True
+        assert stmt.where.mode == "in"
+
+    def test_exists(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE x = y)"
+        )
+        assert stmt.where.mode == "exists"
+
+    def test_scalar_subquery(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE b = (SELECT MAX(c) FROM u)"
+        )
+        assert isinstance(stmt.where.right, SubqueryExpr)
+        assert stmt.where.right.mode == "scalar"
+
+    def test_between_not_like(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 2 AND c NOT LIKE 'x%'"
+        )
+        left, right = stmt.where.left, stmt.where.right
+        assert isinstance(left, BetweenExpr)
+        assert isinstance(right, LikeExpr) and right.negated
+
+    def test_case_expression(self):
+        stmt = parse_select(
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t"
+        )
+        assert isinstance(stmt.items[0].expr, CaseExpr)
+
+    def test_aggregate_distinct(self):
+        stmt = parse_select("SELECT COUNT(DISTINCT a) FROM t")
+        agg = stmt.items[0].expr
+        assert isinstance(agg, AggCall) and agg.distinct
+
+    def test_count_star(self):
+        agg = parse_select("SELECT COUNT(*) FROM t").items[0].expr
+        assert agg.arg is None
+
+    def test_nested_arithmetic_precedence(self):
+        stmt = parse_select("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized_or(self):
+        stmt = parse_select(
+            "SELECT a FROM t WHERE (a = 1 AND b = 2) OR (a = 2 AND b = 1)"
+        )
+        assert isinstance(stmt.where, BinOp) and stmt.where.op == "OR"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a FROM t garbage !")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT a")
+
+
+class TestDmlParsing:
+    def test_insert_values(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns is None
+        assert len(stmt.rows) == 2
+
+    def test_insert_with_columns(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert stmt.columns == ["a", "b"]
+        assert isinstance(stmt.rows[0][0], ParamRef)
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is not None
+
+    def test_delete_without_where(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE c = 2")
+        assert isinstance(stmt, UpdateStmt)
+        assert len(stmt.assignments) == 2
+
+    def test_parse_select_rejects_dml(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("DELETE FROM t")

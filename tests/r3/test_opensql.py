@@ -1,0 +1,238 @@
+import pytest
+
+from repro.engine.types import SqlType
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.ddic import DDicField, DDicTable, TableKind
+from repro.r3.errors import NativeSqlError, OpenSqlError
+from repro.r3.opensql.ast import OSAgg, OSField, OSStar
+from repro.r3.opensql.parser import parse_open_sql
+from repro.r3.opensql.translate import translate
+
+
+@pytest.fixture()
+def r3():
+    system = R3System(R3Version.V22)
+    system.define_pool("kapol")
+    system.activate_table(DDicTable("mara", TableKind.TRANSPARENT, [
+        DDicField("matnr", SqlType.char(18), key=True),
+        DDicField("mtart", SqlType.char(25)),
+        DDicField("psize", SqlType.integer()),
+    ]))
+    system.activate_table(DDicTable("a004", TableKind.POOL, [
+        DDicField("kschl", SqlType.char(4), key=True),
+        DDicField("matnr", SqlType.char(18), key=True),
+        DDicField("knumh", SqlType.char(10)),
+    ], container="kapol"))
+    for i in range(30):
+        system.insert_logical("mara", (f"M{i:03d}", f"TYPE{i % 3}", i))
+        system.insert_logical("a004", ("PR00", f"M{i:03d}", f"H{i:03d}"))
+    system.db.analyze()
+    return system
+
+
+class TestParser:
+    def test_basic(self):
+        stmt = parse_open_sql("SELECT matnr mtart FROM mara")
+        assert [f.name for f in stmt.items] == ["matnr", "mtart"]
+        assert stmt.table == "mara"
+
+    def test_star_and_single(self):
+        stmt = parse_open_sql("SELECT SINGLE * FROM mara "
+                              "WHERE matnr = :m")
+        assert stmt.single and isinstance(stmt.items[0], OSStar)
+
+    def test_tilde_qualification(self):
+        stmt = parse_open_sql(
+            "SELECT p~matnr FROM mara AS p INNER JOIN a004 AS a "
+            "ON a~matnr = p~matnr"
+        )
+        assert stmt.items[0] == OSField("p", "matnr")
+        assert stmt.joins[0].alias == "a"
+
+    def test_aggregates(self):
+        stmt = parse_open_sql(
+            "SELECT mtart COUNT( * ) SUM( psize ) FROM mara "
+            "GROUP BY mtart"
+        )
+        aggs = [i for i in stmt.items if isinstance(i, OSAgg)]
+        assert [a.func for a in aggs] == ["COUNT", "SUM"]
+        assert stmt.group_by == [OSField(None, "mtart")]
+
+    def test_no_expressions_in_aggregates(self):
+        """The grammar itself forbids arithmetic in aggregates — the
+        paper's Open SQL limitation is structural."""
+        with pytest.raises(OpenSqlError):
+            parse_open_sql("SELECT SUM( psize * 2 ) FROM mara")
+
+    def test_order_by_descending(self):
+        stmt = parse_open_sql(
+            "SELECT matnr FROM mara ORDER BY psize DESCENDING matnr"
+        )
+        assert stmt.order_by[0][1] is True
+        assert stmt.order_by[1][1] is False
+
+    def test_up_to_rows(self):
+        stmt = parse_open_sql("SELECT matnr FROM mara UP TO 5 ROWS")
+        assert stmt.up_to == 5
+
+    def test_conditions(self):
+        stmt = parse_open_sql(
+            "SELECT matnr FROM mara WHERE (psize > 3 AND psize < 10) "
+            "OR mtart LIKE 'T%' AND psize IN (1, 2) "
+            "AND psize BETWEEN :lo AND :hi AND mtart <> 'X'"
+        )
+        assert stmt.where is not None
+
+    def test_trailing_garbage(self):
+        with pytest.raises(OpenSqlError):
+            parse_open_sql("SELECT matnr FROM mara BANANAS")
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(OpenSqlError):
+            parse_open_sql("SELECT SUM( * ) FROM mara")
+
+
+class TestTranslation:
+    def test_literals_become_parameters(self):
+        stmt = parse_open_sql(
+            "SELECT matnr FROM mara WHERE mtart = 'TYPE1' AND psize > 5"
+        )
+        translation = translate(stmt, lambda t: ["matnr"], lambda t: True)
+        assert translation.sql.count("?") == 3  # mandt + two values
+        assert "TYPE1" not in translation.sql
+
+    def test_mandt_injected(self):
+        stmt = parse_open_sql("SELECT matnr FROM mara")
+        translation = translate(stmt, lambda t: ["matnr"], lambda t: True)
+        assert "mara.mandt = ?" in translation.sql
+        values = translation.bind("301", {})
+        assert values == ["301"]
+
+    def test_host_variable_binding(self):
+        stmt = parse_open_sql("SELECT matnr FROM mara WHERE psize = :p")
+        translation = translate(stmt, lambda t: ["matnr"], lambda t: True)
+        assert translation.bind("301", {"p": 7}) == ["301", 7]
+        with pytest.raises(OpenSqlError):
+            translation.bind("301", {})
+
+    def test_single_becomes_limit_one(self):
+        stmt = parse_open_sql("SELECT SINGLE matnr FROM mara")
+        translation = translate(stmt, lambda t: ["matnr"], lambda t: True)
+        assert translation.sql.endswith("LIMIT 1")
+
+
+class TestExecutorTransparent:
+    def test_select_loop(self, r3):
+        result = r3.open_sql.select(
+            "SELECT matnr psize FROM mara WHERE mtart = 'TYPE1'"
+        )
+        assert len(result) == 10
+        assert result.fields == ["matnr", "psize"]
+
+    def test_select_single(self, r3):
+        row = r3.open_sql.select_single(
+            "SELECT SINGLE mtart FROM mara WHERE matnr = :m",
+            {"m": "M005"},
+        )
+        assert row == ("TYPE2",)
+
+    def test_select_single_miss(self, r3):
+        assert r3.open_sql.select_single(
+            "SELECT SINGLE mtart FROM mara WHERE matnr = :m",
+            {"m": "NOPE"},
+        ) is None
+
+    def test_order_by_and_up_to(self, r3):
+        result = r3.open_sql.select(
+            "SELECT matnr FROM mara ORDER BY psize DESCENDING UP TO 3 ROWS"
+        )
+        assert [row[0] for row in result.rows] == ["M029", "M028", "M027"]
+
+    def test_cursor_cache_reused(self, r3):
+        r3.open_sql.select("SELECT matnr FROM mara WHERE psize = :p",
+                           {"p": 1})
+        before = r3.metrics.get("dbif.cursor_cache_hits")
+        r3.open_sql.select("SELECT matnr FROM mara WHERE psize = :p",
+                           {"p": 2})
+        assert r3.metrics.get("dbif.cursor_cache_hits") == before + 1
+
+    def test_joins_gated_in_22(self, r3):
+        with pytest.raises(OpenSqlError, match="3.0"):
+            r3.open_sql.select(
+                "SELECT p~matnr FROM mara AS p INNER JOIN a004 AS a "
+                "ON a~matnr = p~matnr"
+            )
+
+    def test_aggregates_gated_in_22(self, r3):
+        with pytest.raises(OpenSqlError, match="3.0"):
+            r3.open_sql.select("SELECT COUNT( * ) FROM mara")
+
+    def test_unknown_table(self, r3):
+        with pytest.raises(OpenSqlError):
+            r3.open_sql.select("SELECT x FROM nothere")
+
+
+class TestExecutorEncapsulated:
+    def test_pool_full_scan_with_filter(self, r3):
+        result = r3.open_sql.select(
+            "SELECT matnr knumh FROM a004 WHERE matnr = 'M007'"
+        )
+        assert result.rows == [("M007", "H007")]
+        assert r3.metrics.get("abap.rows_decoded") >= 30
+
+    def test_pool_key_probe(self, r3):
+        row = r3.open_sql.select_single(
+            "SELECT SINGLE knumh FROM a004 WHERE kschl = 'PR00' "
+            "AND matnr = :m",
+            {"m": "M003"},
+        )
+        assert row == ("H003",)
+
+    def test_pool_star(self, r3):
+        result = r3.open_sql.select("SELECT * FROM a004 UP TO 2 ROWS")
+        assert result.fields == ["kschl", "matnr", "knumh"]
+        assert len(result) == 2
+
+    def test_pool_rejects_aggregates_even_in_30(self, r3):
+        r3.version = R3Version.V30
+        try:
+            with pytest.raises(OpenSqlError, match="transparent"):
+                r3.open_sql.select("SELECT COUNT( * ) FROM a004")
+        finally:
+            r3.version = R3Version.V22
+
+    def test_pool_order_by_in_app_server(self, r3):
+        result = r3.open_sql.select(
+            "SELECT matnr FROM a004 ORDER BY matnr DESCENDING UP TO 1 ROWS"
+        )
+        assert result.rows == [("M029",)]
+
+
+class TestNativeSql:
+    def test_passthrough(self, r3):
+        result = r3.native_sql.exec_sql(
+            "SELECT matnr FROM mara WHERE mandt = '301' AND psize = 4"
+        )
+        assert result.rows == [("M004",)]
+
+    def test_forgotten_mandt_is_not_injected(self, r3):
+        """The paper's safety warning: Native SQL sees all clients."""
+        other = R3System(R3Version.V22, client="999")
+        # (not installing data for 999; just check no rewriting happens)
+        result = r3.native_sql.exec_sql("SELECT COUNT(*) FROM mara")
+        assert result.scalar() == 30  # everything, no client filter
+
+    def test_encapsulated_table_rejected(self, r3):
+        with pytest.raises(NativeSqlError, match="pool"):
+            r3.native_sql.exec_sql("SELECT knumh FROM a004")
+
+    def test_encapsulated_in_subquery_rejected(self, r3):
+        with pytest.raises(NativeSqlError):
+            r3.native_sql.exec_sql(
+                "SELECT matnr FROM mara WHERE matnr IN "
+                "(SELECT matnr FROM a004)"
+            )
+
+    def test_dml_checked_too(self, r3):
+        with pytest.raises(NativeSqlError):
+            r3.native_sql.exec_sql("DELETE FROM a004")

@@ -1,0 +1,40 @@
+"""Cross-variant validation (the paper's Section 3.3 validation step).
+
+Every SAP implementation of every TPC-D query must return exactly the
+rows the isolated RDBMS returns — across both releases and both query
+interfaces.  68 checks in total.
+"""
+
+import pytest
+
+from repro.reports import native22, native30, open22, open30
+from repro.tpcd.answers import assert_rows_match
+from tests.conftest import SF
+
+SUITES = {
+    "native22": (native22, "r3_22"),
+    "open22": (open22, "r3_22"),
+    "native30": (native30, "r3_30"),
+    "open30": (open30, "r3_30"),
+}
+
+
+@pytest.mark.parametrize("suite_name", list(SUITES))
+@pytest.mark.parametrize("number", range(1, 18))
+def test_query_matches_rdbms(suite_name, number, reference_results,
+                             request):
+    module, fixture_name = SUITES[suite_name]
+    r3 = request.getfixturevalue(fixture_name)
+    queries = module.make_queries(SF)
+    got = queries[number](r3)
+    assert_rows_match(
+        reference_results[number], got,
+        label=f"Q{number}/{suite_name}",
+    )
+
+
+def test_22_and_30_native_agree(reference_results, r3_22, r3_30):
+    """Old reports still work after the upgrade (paper Section 3.4.4)."""
+    old = native22.make_queries(SF)[13](r3_22)
+    new = native30.make_queries(SF)[13](r3_30)
+    assert old == new

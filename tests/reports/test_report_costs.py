@@ -1,0 +1,99 @@
+"""Cost-shape assertions on the report suites.
+
+These check the *mechanisms* behind the paper's numbers: interface
+crossings, cluster decodes, cursor caching, EXTRACT/SORT spills.
+"""
+
+import pytest
+
+from repro.reports import common as cm
+from repro.reports import native30, open22, open30
+from tests.conftest import SF
+
+
+class TestInterfaceCrossings:
+    def test_native30_is_one_statement(self, r3_30):
+        snap = r3_30.metrics.snapshot()
+        native30.q6(r3_30)
+        assert snap.get("dbif.roundtrips") == 1
+
+    def test_open22_crosses_per_order(self, r3_22, tpcd_data):
+        snap = r3_22.metrics.snapshot()
+        open22.q6(r3_22)
+        # at least one KONV cluster fetch per order with a qualifying
+        # lineitem, plus the driving view query
+        assert snap.get("dbif.roundtrips") > 100
+
+    def test_open22_decodes_cluster(self, r3_22):
+        snap = r3_22.metrics.snapshot()
+        open22.q1(r3_22)
+        assert snap.get("abap.rows_decoded") > 0
+
+    def test_open30_probes_transparent_konv(self, r3_30):
+        snap = r3_30.metrics.snapshot()
+        open30.q1(r3_30)
+        assert snap.get("abap.rows_decoded") == 0
+
+    def test_cursor_cache_amortizes_nested_loops(self, r3_22):
+        open22.q5(r3_22)
+        snap = r3_22.metrics.snapshot()
+        open22.q5(r3_22)
+        delta = snap.delta()
+        hits = delta.get("dbif.cursor_cache_hits", 0)
+        misses = delta.get("dbif.cursor_cache_misses", 0)
+        assert hits > 10 * max(misses, 1)
+
+
+class TestGroupingCosts:
+    def test_open_reports_sort_via_disk(self, r3_30):
+        snap = r3_30.metrics.snapshot()
+        open30.q1(r3_30)
+        assert snap.get("abap.sort_spills") >= 1
+        assert snap.get("abap.extracts") > 0
+
+    def test_native30_groups_in_rdbms(self, r3_30):
+        snap = r3_30.metrics.snapshot()
+        native30.q1(r3_30)
+        assert snap.get("abap.extracts") == 0
+
+    def test_open_ships_rows_native_ships_groups(self, r3_30):
+        snap = r3_30.metrics.snapshot()
+        native30.q1(r3_30)
+        native_shipped = snap.get("dbif.tuples_shipped")
+        snap2 = r3_30.metrics.snapshot()
+        open30.q1(r3_30)
+        open_shipped = snap2.get("dbif.tuples_shipped")
+        assert open_shipped > 100 * native_shipped
+
+
+class TestSimulatedTimeShapes:
+    def test_konv_lookup_memoizes_per_document(self, r3_22):
+        lookup = cm.KonvLookup(r3_22)
+        knumv = cm.KeyCodec.knumv(1)
+        snap = r3_22.metrics.snapshot()
+        lookup.conditions(knumv)
+        lookup.conditions(knumv)
+        assert snap.get("dbif.roundtrips") == 1
+
+    def test_nation_helpers(self, r3_22):
+        names = cm.nation_names(r3_22)
+        assert names["007"] == "GERMANY"
+        regions = cm.nations_in_region(r3_22, "EUROPE")
+        assert "GERMANY" in regions.values()
+        assert len(regions) == 5
+
+    def test_region_lookup_missing(self, r3_22):
+        assert cm.region_by_name(r3_22, "ATLANTIS") is None
+
+    @pytest.mark.parametrize("number", [1, 3, 6])
+    def test_open22_slower_than_native30(self, r3_22, r3_30, number):
+        """2.2 Open SQL vs 3.0 Native SQL is the paper's biggest gap."""
+        suite22 = open22.make_queries(SF)
+        suite30 = native30.make_queries(SF)
+        span = r3_22.measure()
+        suite22[number](r3_22)
+        t_open22 = span.stop()
+        span = r3_30.measure()
+        suite30[number](r3_30)
+        t_native30 = span.stop()
+        assert t_open22 > t_native30

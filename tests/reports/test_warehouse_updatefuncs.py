@@ -1,0 +1,149 @@
+"""Warehouse-extraction fidelity + SAP update functions."""
+
+import pytest
+
+from repro.core.powertest import build_sap_system
+from repro.r3.appserver import R3Version
+from repro.reports.updatefuncs import run_uf1_sap, run_uf2_sap
+from repro.tpcd.dbgen import (
+    delete_keys,
+    generate,
+    generate_refresh_orders,
+)
+from repro.warehouse import extract_all
+from repro.warehouse.extract import (
+    extract_lineitem,
+    extract_orders,
+    extract_part,
+    extract_supplier,
+)
+
+
+class TestWarehouseFidelity:
+    """The extracted ASCII must reconstruct the generated data."""
+
+    def test_supplier_roundtrip(self, r3_30, tpcd_data):
+        lines = sorted(extract_supplier(r3_30),
+                       key=lambda line: int(line.split("|")[0]))
+        assert len(lines) == len(tpcd_data.supplier)
+        first = lines[0].split("|")
+        source = tpcd_data.supplier[0]
+        assert int(first[0]) == source[0]
+        assert first[1] == source[1]      # name
+        assert int(first[3]) == source[3]  # nationkey
+        assert first[6] == source[6]      # comment via STXL
+
+    def test_orders_roundtrip(self, r3_30, tpcd_data):
+        lines = {int(line.split("|")[0]): line.split("|")
+                 for line in extract_orders(r3_30)}
+        source = tpcd_data.orders[0]
+        extracted = lines[source[0]]
+        assert int(extracted[1]) == source[1]         # custkey
+        assert extracted[2] == source[2]              # status
+        assert float(extracted[3]) == source[3]       # totalprice
+        assert extracted[4] == source[4].isoformat()  # orderdate
+
+    def test_lineitem_roundtrip(self, r3_30, tpcd_data):
+        lines = extract_lineitem(r3_30)
+        assert len(lines) == len(tpcd_data.lineitem)
+        by_key = {}
+        for line in lines:
+            parts = line.split("|")
+            by_key[(int(parts[0]), int(parts[3]))] = parts
+        source = tpcd_data.lineitem[0]
+        extracted = by_key[(source[0], source[3])]
+        assert int(extracted[1]) == source[1]          # partkey
+        assert float(extracted[4]) == source[4]        # quantity
+        assert float(extracted[6]) == pytest.approx(source[6])  # discount
+        assert float(extracted[7]) == pytest.approx(source[7])  # tax
+        assert extracted[15] == source[15]             # comment
+
+    def test_part_includes_pooled_price(self, r3_30, tpcd_data):
+        lines = {int(line.split("|")[0]): line.split("|")
+                 for line in extract_part(r3_30)}
+        source = tpcd_data.part[0]
+        extracted = lines[source[0]]
+        assert float(extracted[7]) == source[7]  # price via A004->KONP
+        assert int(extracted[5]) == source[5]    # size via AUSP
+
+    def test_extract_all_row_counts(self, r3_30, tpcd_data):
+        results = extract_all(r3_30)
+        assert results["PARTSUPP"].rows == len(tpcd_data.partsupp)
+        assert results["CUSTOMER"].rows == len(tpcd_data.customer)
+        assert results["NATION"].rows == 25
+
+    def test_lines_dropped_unless_requested(self, r3_30):
+        assert extract_all(r3_30)["REGION"].lines == []
+        assert extract_all(r3_30, keep_lines=True)["REGION"].lines
+
+
+class TestSapUpdateFunctions:
+    @pytest.fixture()
+    def world(self):
+        data = generate(0.0005, seed=21)
+        r3 = build_sap_system(data, R3Version.V22)
+        return data, r3
+
+    def _order_count(self, r3):
+        return len(r3.open_sql.select("SELECT vbeln FROM vbak").rows)
+
+    def test_uf1_inserts_documents(self, world):
+        data, r3 = world
+        refresh = generate_refresh_orders(data)
+        before = self._order_count(r3)
+        run_uf1_sap(r3, refresh)
+        assert self._order_count(r3) == before + len(refresh.orders)
+        # conditions landed in the cluster too
+        from repro.sapschema.mapping import KeyCodec
+
+        new_key = KeyCodec.knumv(refresh.orders[0][0])
+        rows = r3.open_sql.select(
+            "SELECT kposn FROM konv WHERE knumv = :k", {"k": new_key}
+        )
+        assert len(rows) > 0
+
+    def test_uf2_removes_documents_everywhere(self, world):
+        data, r3 = world
+        doomed = delete_keys(data)[:2]
+        run_uf2_sap(r3, doomed)
+        from repro.sapschema.mapping import KeyCodec
+
+        for orderkey in doomed:
+            vbeln = KeyCodec.vbeln(orderkey)
+            assert r3.open_sql.select_single(
+                "SELECT SINGLE vbeln FROM vbak WHERE vbeln = :v",
+                {"v": vbeln}) is None
+            assert r3.open_sql.select(
+                "SELECT posnr FROM vbap WHERE vbeln = :v",
+                {"v": vbeln}).rows == []
+            assert r3.open_sql.select(
+                "SELECT kposn FROM konv WHERE knumv = :k",
+                {"k": KeyCodec.knumv(orderkey)}).rows == []
+
+    def test_uf2_works_after_upgrade(self, world):
+        data, r3 = world
+        from repro.r3.upgrade import upgrade_to_30
+
+        upgrade_to_30(r3)
+        doomed = delete_keys(data)[:1]
+        run_uf2_sap(r3, doomed)
+        from repro.sapschema.mapping import KeyCodec
+
+        assert r3.open_sql.select(
+            "SELECT kposn FROM konv WHERE knumv = :k",
+            {"k": KeyCodec.knumv(doomed[0])}).rows == []
+
+    def test_uf_on_sap_slower_than_rdbms(self, world):
+        data, r3 = world
+        from repro.tpcd.loader import load_original
+        from repro.tpcd.updates import run_uf1_rdbms
+
+        refresh = generate_refresh_orders(data)
+        db = load_original(data)
+        span = db.clock.span()
+        run_uf1_rdbms(db, refresh)
+        rdbms_s = span.stop()
+        span = r3.measure()
+        run_uf1_sap(r3, refresh)
+        sap_s = span.stop()
+        assert sap_s > 3 * rdbms_s

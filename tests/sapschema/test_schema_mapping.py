@@ -1,0 +1,101 @@
+import pytest
+
+from repro.r3.ddic import TableKind
+from repro.sapschema.mapping import KeyCodec, order_documents
+from repro.sapschema.tables import SAP_TABLE_INFO
+from repro.sapschema.views import JOIN_VIEWS
+
+
+class TestTableInventory:
+    def test_seventeen_tables(self):
+        """The paper's Table 1: exactly 17 SAP tables store the data."""
+        assert len(SAP_TABLE_INFO) == 17
+
+    def test_paper_table_names(self):
+        expected = {
+            "t005", "t005t", "t005u", "mara", "makt", "a004", "konp",
+            "lfa1", "eina", "eine", "ausp", "kna1", "vbak", "vbap",
+            "vbep", "konv", "stxl",
+        }
+        assert set(SAP_TABLE_INFO) == expected
+
+    def test_default_encapsulation(self):
+        assert SAP_TABLE_INFO["a004"].kind is TableKind.POOL
+        assert SAP_TABLE_INFO["konv"].kind is TableKind.CLUSTER
+        transparent = [
+            info for info in SAP_TABLE_INFO.values()
+            if info.kind is TableKind.TRANSPARENT
+        ]
+        assert len(transparent) == 15
+
+    def test_every_table_has_fillers(self):
+        """The business fields that inflate the database exist on every
+        large table."""
+        for name in ("mara", "lfa1", "kna1", "vbak", "vbap", "vbep",
+                     "konv"):
+            assert len(SAP_TABLE_INFO[name].filler_fields) >= 5
+
+    def test_sap_keys_are_strings(self):
+        from repro.engine.types import TypeKind
+
+        for info in SAP_TABLE_INFO.values():
+            for field in info.semantic_fields:
+                if field.key and field.name not in ("srtf2",):
+                    assert field.sql_type.kind in (TypeKind.CHAR,
+                                                   TypeKind.DATE)
+
+    def test_filler_defaults_match_width(self):
+        for info in SAP_TABLE_INFO.values():
+            assert len(info.filler_defaults) == len(info.filler_fields)
+
+
+class TestKeyCodec:
+    @pytest.mark.parametrize("encode,decode,value", [
+        (KeyCodec.vbeln, KeyCodec.orderkey, 123456),
+        (KeyCodec.matnr, KeyCodec.partkey, 42),
+        (KeyCodec.lifnr, KeyCodec.suppkey, 7),
+        (KeyCodec.kunnr, KeyCodec.custkey, 1500),
+        (KeyCodec.land1, KeyCodec.nationkey, 24),
+        (KeyCodec.posnr, KeyCodec.linenumber, 6),
+    ])
+    def test_roundtrip(self, encode, decode, value):
+        assert decode(encode(value)) == value
+
+    def test_string_keys_preserve_numeric_order(self):
+        keys = [KeyCodec.vbeln(k) for k in (1, 9, 10, 99, 100)]
+        assert keys == sorted(keys)
+
+    def test_widths(self):
+        assert len(KeyCodec.matnr(1)) == 18
+        assert len(KeyCodec.vbeln(1)) == 10
+        assert len(KeyCodec.knumv(1)) == 10
+
+
+class TestMapping:
+    def test_vertical_partitioning(self, tpcd_data):
+        documents = order_documents(tpcd_data)
+        assert len(documents) == len(tpcd_data.orders)
+        doc = documents[0]
+        lines = len(doc.vbap)
+        assert len(doc.vbep) == lines
+        assert len(doc.konv_rows) == 2 * lines  # DISC + TAX per item
+        assert len(doc.stxl) == 1 + lines       # order + item comments
+
+    def test_konv_encodes_discount_and_tax(self, tpcd_data):
+        lineitem = tpcd_data.lineitem[0]
+        documents = order_documents(tpcd_data)
+        doc = next(d for d in documents if d.orderkey == lineitem[0])
+        disc_row = doc.konv_rows[0]
+        tax_row = doc.konv_rows[1]
+        assert disc_row[4] == "DISC" and tax_row[4] == "TAX"
+        assert disc_row[5] == pytest.approx(-lineitem[6] * 1000)
+        assert tax_row[5] == pytest.approx(lineitem[7] * 1000)
+
+    def test_vbak_carries_knumv_link(self, tpcd_data):
+        doc = order_documents(tpcd_data)[0]
+        knumv = doc.vbak[8]
+        assert knumv == KeyCodec.knumv(doc.orderkey)
+        assert all(row[0] == knumv for row in doc.konv_rows)
+
+    def test_join_views_cover_transparent_pkfk_only(self):
+        assert "konv" not in " ".join(JOIN_VIEWS.values()).lower()

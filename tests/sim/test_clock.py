@@ -1,0 +1,75 @@
+import pytest
+
+from repro.sim.clock import SimulatedClock, format_duration
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_charge_accumulates(self):
+        clock = SimulatedClock()
+        clock.charge(1.5)
+        clock.charge(2.5)
+        assert clock.now == 4.0
+
+    def test_negative_charge_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.charge(-1.0)
+
+    def test_span_measures_window(self):
+        clock = SimulatedClock()
+        clock.charge(10.0)
+        span = clock.span()
+        clock.charge(3.0)
+        assert span.stop() == 3.0
+        # time after stop is not counted
+        clock.charge(5.0)
+        assert span.elapsed == 3.0
+
+    def test_span_context_manager(self):
+        clock = SimulatedClock()
+        with clock.span() as span:
+            clock.charge(2.0)
+        assert span.elapsed == 2.0
+
+    def test_nested_spans(self):
+        clock = SimulatedClock()
+        outer = clock.span()
+        clock.charge(1.0)
+        inner = clock.span()
+        clock.charge(2.0)
+        assert inner.stop() == 2.0
+        assert outer.stop() == 3.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge(7.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(34) == "34s"
+
+    def test_minutes(self):
+        assert format_duration(5 * 60 + 17) == "5m 17s"
+
+    def test_hours(self):
+        assert format_duration(2 * 3600 + 14 * 60 + 56) == "2h 14m 56s"
+
+    def test_days(self):
+        seconds = 25 * 86400 + 19 * 3600 + 55 * 60
+        assert format_duration(seconds) == "25d 19h 55m"
+
+    def test_zero(self):
+        assert format_duration(0) == "0s"
+
+    def test_rounding(self):
+        assert format_duration(59.6) == "1m 00s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1)

@@ -1,0 +1,47 @@
+from repro.sim.clock import SimulatedClock
+from repro.sim.disk import DiskModel
+from repro.sim.metrics import MetricsCollector
+from repro.sim.params import SimParams
+
+
+def _disk():
+    clock = SimulatedClock()
+    metrics = MetricsCollector()
+    return DiskModel(clock, metrics, seq_read_s=0.001, random_read_s=0.01,
+                     write_s=0.02), clock, metrics
+
+
+class TestDiskModel:
+    def test_sequential_read_cost(self):
+        disk, clock, metrics = _disk()
+        disk.read_page(sequential=True)
+        assert clock.now == 0.001
+        assert metrics.get("disk.seq_reads") == 1
+
+    def test_random_read_cost(self):
+        disk, clock, metrics = _disk()
+        disk.read_page(sequential=False)
+        assert clock.now == 0.01
+        assert metrics.get("disk.random_reads") == 1
+
+    def test_random_costs_more_than_sequential(self):
+        params = SimParams()
+        assert params.random_read_s > params.seq_read_s
+
+    def test_write_cost(self):
+        disk, clock, metrics = _disk()
+        disk.write_page()
+        assert clock.now == 0.02
+        assert metrics.get("disk.writes") == 1
+
+
+class TestSimParams:
+    def test_pages_for_bytes_rounds_up(self):
+        params = SimParams(page_size_bytes=8192)
+        assert params.pages_for_bytes(1) == 1
+        assert params.pages_for_bytes(8192) == 1
+        assert params.pages_for_bytes(8193) == 2
+        assert params.pages_for_bytes(0) == 0
+
+    def test_default_buffer_is_papers_10mb(self):
+        assert SimParams().buffer_pool_bytes == 10 * 1024 * 1024

@@ -1,0 +1,46 @@
+from repro.sim.metrics import MetricsCollector
+
+
+class TestMetricsCollector:
+    def test_count_default_one(self):
+        metrics = MetricsCollector()
+        metrics.count("x")
+        metrics.count("x")
+        assert metrics.get("x") == 2
+
+    def test_count_amount(self):
+        metrics = MetricsCollector()
+        metrics.count("rows", 10)
+        metrics.count("rows", 5)
+        assert metrics.get("rows") == 15
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsCollector().get("missing") == 0
+
+    def test_snapshot_delta(self):
+        metrics = MetricsCollector()
+        metrics.count("a", 3)
+        snap = metrics.snapshot()
+        metrics.count("a", 2)
+        metrics.count("b", 1)
+        assert snap.delta() == {"a": 2, "b": 1}
+        assert snap.get("a") == 2
+        assert snap.get("c") == 0
+
+    def test_snapshot_excludes_unchanged(self):
+        metrics = MetricsCollector()
+        metrics.count("a")
+        snap = metrics.snapshot()
+        assert snap.delta() == {}
+
+    def test_iteration_sorted(self):
+        metrics = MetricsCollector()
+        metrics.count("zz")
+        metrics.count("aa")
+        assert [name for name, _v in metrics] == ["aa", "zz"]
+
+    def test_reset(self):
+        metrics = MetricsCollector()
+        metrics.count("a")
+        metrics.reset()
+        assert metrics.all() == {}

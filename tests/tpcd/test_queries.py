@@ -1,0 +1,85 @@
+import datetime
+
+import pytest
+
+from repro.tpcd.queries import build_queries, run_query
+from tests.conftest import SF
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return build_queries(SF)
+
+
+class TestQuerySuite:
+    def test_seventeen_queries(self, specs):
+        assert sorted(specs) == list(range(1, 18))
+
+    def test_q11_fraction_scales(self):
+        a = build_queries(0.01)[11].sql
+        b = build_queries(0.1)[11].sql
+        assert a != b and "0.01" in a
+
+    @pytest.mark.parametrize("number", range(1, 18))
+    def test_queries_run(self, rdbms_db, specs, number):
+        result = run_query(rdbms_db, specs[number])
+        assert isinstance(result.rows, list)
+
+    def test_q1_shape(self, reference_results):
+        rows = reference_results[1]
+        # group keys are (returnflag, linestatus); counts positive
+        assert 1 <= len(rows) <= 6
+        for row in rows:
+            assert row[0] in ("A", "N", "R") and row[1] in ("F", "O")
+            assert row[9] > 0
+            assert row[2] >= row[9]  # sum_qty >= count (qty >= 1)
+
+    def test_q1_internal_consistency(self, reference_results):
+        for row in reference_results[1]:
+            assert row[6] == pytest.approx(row[2] / row[9])  # avg_qty
+            assert row[4] <= row[3]  # discounted <= base
+
+    def test_q3_limit_and_order(self, reference_results):
+        rows = reference_results[3]
+        assert len(rows) <= 10
+        revenues = [row[1] for row in rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q4_priorities(self, reference_results):
+        for prior, count in reference_results[4]:
+            assert count > 0
+            assert prior[0] in "12345"
+
+    def test_q6_is_single_value(self, reference_results):
+        assert len(reference_results[6]) == 1
+
+    def test_q14_percentage(self, reference_results):
+        value = reference_results[14][0][0]
+        if value is not None:
+            assert 0.0 <= value <= 100.0
+
+    def test_q15_view_cleaned_up(self, rdbms_db, specs):
+        run_query(rdbms_db, specs[15])
+        assert not rdbms_db.catalog.has_view("revenue")
+
+    def test_q15_view_cleaned_up_on_error(self, rdbms_db, specs):
+        import copy
+
+        broken = copy.deepcopy(specs[15])
+        broken.sql = "SELECT nonsense FROM nowhere"
+        with pytest.raises(Exception):
+            run_query(rdbms_db, broken)
+        assert not rdbms_db.catalog.has_view("revenue")
+
+    def test_q16_counts_distinct_suppliers(self, reference_results):
+        for row in reference_results[16]:
+            assert 0 < row[3] <= 10  # at most all suppliers at SF 0.001
+
+    def test_q2_ordering(self, reference_results):
+        rows = reference_results[2]
+        balances = [row[0] for row in rows]
+        assert balances == sorted(balances, reverse=True)
+
+    def test_deviations_documented(self, specs):
+        assert specs[13].deviation is not None
+        assert specs[8].deviation is not None

@@ -1,0 +1,73 @@
+from repro.tpcd.dbgen import delete_keys, generate, generate_refresh_orders
+from repro.tpcd.loader import load_original
+from repro.tpcd.updates import run_uf1_rdbms, run_uf2_rdbms
+
+
+def _fresh():
+    data = generate(0.0005, seed=11)
+    return data, load_original(data)
+
+
+class TestUpdateFunctions:
+    def test_uf1_inserts_refresh_set(self):
+        data, db = _fresh()
+        refresh = generate_refresh_orders(data)
+        before = db.execute("SELECT COUNT(*) FROM orders").scalar()
+        inserted = run_uf1_rdbms(db, refresh)
+        after = db.execute("SELECT COUNT(*) FROM orders").scalar()
+        assert after == before + len(refresh.orders)
+        assert inserted == len(refresh.orders) + len(refresh.lineitem)
+
+    def test_uf2_deletes_orders_and_lineitems(self):
+        data, db = _fresh()
+        doomed = delete_keys(data)
+        run_uf2_rdbms(db, doomed)
+        for orderkey in doomed:
+            assert db.execute(
+                "SELECT COUNT(*) FROM orders WHERE o_orderkey = ?",
+                (orderkey,),
+            ).scalar() == 0
+            assert db.execute(
+                "SELECT COUNT(*) FROM lineitem WHERE l_orderkey = ?",
+                (orderkey,),
+            ).scalar() == 0
+
+    def test_uf1_then_uf2_roundtrip(self):
+        data, db = _fresh()
+        refresh = generate_refresh_orders(data)
+        before_orders = db.execute("SELECT COUNT(*) FROM orders").scalar()
+        before_items = db.execute("SELECT COUNT(*) FROM lineitem").scalar()
+        run_uf1_rdbms(db, refresh)
+        run_uf2_rdbms(db, [row[0] for row in refresh.orders])
+        assert db.execute("SELECT COUNT(*) FROM orders").scalar() == \
+            before_orders
+        assert db.execute("SELECT COUNT(*) FROM lineitem").scalar() == \
+            before_items
+
+
+class TestAnswersHelpers:
+    def test_rows_match_rounding(self):
+        from repro.tpcd.answers import rows_match
+
+        assert rows_match([(1.0000001, "a")], [(1.0, "a ")])
+        assert not rows_match([(1.5, "a")], [(1.0, "a")])
+
+    def test_unordered_comparison(self):
+        from repro.tpcd.answers import rows_match
+
+        assert rows_match([(1,), (2,)], [(2,), (1,)], ordered=False)
+        assert not rows_match([(1,), (2,)], [(2,), (1,)], ordered=True)
+
+    def test_assert_rows_match_raises_with_context(self):
+        import pytest
+
+        from repro.tpcd.answers import assert_rows_match
+
+        with pytest.raises(AssertionError, match="mismatch"):
+            assert_rows_match([(1,)], [(2,)], label="Qx")
+
+    def test_none_handling_in_unordered_sort(self):
+        from repro.tpcd.answers import canonical_rows
+
+        rows = canonical_rows([(None,), (1,)], ordered=False)
+        assert len(rows) == 2
