@@ -1,0 +1,145 @@
+"""Robustness: the Table-3 batch-input load under injected faults.
+
+The paper's month-long load (Table 3) ran in the real world, where
+disks hiccup, connections drop and work processes die.  This bench
+runs the same load under the none/light/heavy fault profiles plus a
+work-process crash injected at ~50% progress, and reports
+
+* load-time overhead per profile vs the seed (un-checkpointed) load,
+* recovery time after the 50% crash (rollback + journal resume + redo),
+* that the recovered load's row counts equal the fault-free load's
+  exactly (idempotent replay, zero duplicates),
+* that checkpointing costs < 5% even with no faults injected.
+
+Scale factor is reduced for the same reason as bench_table3; override
+with REPRO_FAULT_SF.
+"""
+
+import os
+
+from repro.core.results import (
+    duration_cell,
+    render_table,
+    robustness_summary,
+)
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.batchinput import LoadJournal
+from repro.r3.errors import WorkProcessCrash
+from repro.sapschema.loader import load_sap_batch_input
+from repro.sim.faults import (
+    FaultProfile,
+    PROFILE_HEAVY,
+    PROFILE_LIGHT,
+    PROFILE_NONE,
+)
+from repro.tpcd.dbgen import generate
+
+LOAD_SF = float(os.environ.get("REPRO_FAULT_SF", "0.0005"))
+COMMIT_INTERVAL = 25
+
+
+def _row_counts(r3):
+    return {name: r3.db.catalog.table(name).row_count
+            for name in r3.db.catalog.table_names}
+
+
+def _load(data, profile=None, commit_interval=None):
+    r3 = R3System(R3Version.V22)
+    if profile is not None:
+        r3.attach_faults(profile)
+    load_sap_batch_input(r3, data, commit_interval=commit_interval)
+    return r3
+
+
+def _crash_and_recover(data, crash_at_s):
+    """Load with a crash at ``crash_at_s``; resume from the journal."""
+    r3 = R3System(R3Version.V22)
+    r3.attach_faults(FaultProfile(name="crash50", seed=1996,
+                                  crash_at_s=(crash_at_s,)))
+    journal = LoadJournal()
+    timings = None
+    crashed_at = None
+    try:
+        timings = load_sap_batch_input(
+            r3, data, commit_interval=COMMIT_INTERVAL, journal=journal)
+    except WorkProcessCrash:
+        crashed_at = r3.clock.now
+        timings = load_sap_batch_input(
+            r3, data, commit_interval=COMMIT_INTERVAL, journal=journal,
+            timings=timings)
+    return r3, crashed_at
+
+
+def test_robustness_faultload(benchmark):
+    data = generate(LOAD_SF)
+
+    def scenario():
+        # Seed baseline: the pre-robustness load, no checkpointing.
+        seed = _load(data)
+        # The three declarative profiles, all checkpointed.
+        profiled = {
+            profile.name: _load(data, profile,
+                                commit_interval=COMMIT_INTERVAL)
+            for profile in (PROFILE_NONE, PROFILE_LIGHT, PROFILE_HEAVY)
+        }
+        # Crash at ~50% of the checkpointed fault-free load time.
+        ckpt_time = profiled["none"].clock.now
+        recovered, crashed_at = _crash_and_recover(data, 0.5 * ckpt_time)
+        return seed, profiled, recovered, crashed_at
+
+    seed, profiled, recovered, crashed_at = benchmark.pedantic(
+        scenario, rounds=1, iterations=1)
+
+    seed_time = seed.clock.now
+    seed_rows = _row_counts(seed)
+    ckpt_time = profiled["none"].clock.now
+
+    rows = [["seed (no ckpt)", duration_cell(seed_time), "-", "-", "-"]]
+    for name in ("none", "light", "heavy"):
+        r3 = profiled[name]
+        overhead = (r3.clock.now - seed_time) / seed_time
+        rows.append([
+            name,
+            duration_cell(r3.clock.now),
+            f"{overhead:+.2%}",
+            f"{int(r3.metrics.get('faults.disk_io_injected') + r3.metrics.get('faults.connection_drops_injected')):,}",
+            f"{int(r3.metrics.get('dbif.retries') + r3.metrics.get('disk.io_retries')):,}",
+        ])
+    recovery_time = recovered.clock.now - ckpt_time
+    rows.append([
+        "crash @50%+recov",
+        duration_cell(recovered.clock.now),
+        f"{(recovered.clock.now - seed_time) / seed_time:+.2%}",
+        f"{int(recovered.metrics.get('faults.crashes_injected')):,}",
+        f"{int(recovered.metrics.get('recovery.rows_rolled_back')):,} rb",
+    ])
+    print()
+    print(render_table(
+        ["Profile", "Load time", "vs seed", "Faults", "Retries"], rows,
+        title=f"Robustness fault-load at SF={LOAD_SF}, "
+              f"commit interval {COMMIT_INTERVAL}",
+    ))
+    print(f"crash at {duration_cell(crashed_at)} simulated, "
+          f"recovery overhead {duration_cell(recovery_time)}")
+    print()
+    print(robustness_summary(recovered.metrics,
+                             title="Crash-run robustness counters"))
+
+    benchmark.extra_info["seed_load_s"] = round(seed_time, 1)
+    benchmark.extra_info["checkpoint_overhead_pct"] = round(
+        100 * (ckpt_time - seed_time) / seed_time, 3)
+    benchmark.extra_info["recovery_overhead_s"] = round(recovery_time, 1)
+
+    # Acceptance: checkpointing under the "none" profile costs < 5%.
+    assert 0 <= (ckpt_time - seed_time) / seed_time < 0.05
+    # The crash really happened mid-load and was recovered from.
+    assert crashed_at is not None
+    assert recovered.metrics.get("faults.crashes_injected") == 1
+    assert recovered.metrics.get("batchinput.journal_resumes") >= 1
+    # Idempotent recovery: row counts equal the fault-free load exactly.
+    assert _row_counts(recovered) == seed_rows
+    for name in ("none", "light", "heavy"):
+        assert _row_counts(profiled[name]) == seed_rows
+    # Faulted profiles pay, but the load always completes.
+    assert profiled["heavy"].clock.now >= profiled["light"].clock.now \
+        >= profiled["none"].clock.now

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from repro.core import paperdata
 from repro.core.results import duration_cell, render_table
 from repro.engine.database import Database
+from repro.engine.errors import StatementTimeout, TransientError
+from repro.sim.clock import SimulatedClock
 from repro.r3.appserver import R3System, R3Version
 from repro.r3.upgrade import upgrade_to_30
 from repro.reports import native22, native30, open22, open30
@@ -44,6 +46,9 @@ class PowerTestResult:
     times: dict[str, dict[str, float]] = field(default_factory=dict)
     #: variant -> {'Q1': rows, ...} for sanity checks
     row_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: variant -> {'Q5': reason} for queries that failed or timed out;
+    #: their ``times`` entry holds the partial simulated charge
+    failures: dict[str, dict[str, str]] = field(default_factory=dict)
 
     def total(self, variant: str, queries_only: bool = False) -> float:
         names = paperdata.QUERIES if queries_only \
@@ -51,14 +56,28 @@ class PowerTestResult:
         times = self.times[variant]
         return sum(times[name] for name in names if name in times)
 
+    def completed(self, variant: str) -> list[str]:
+        """Names that ran to completion (the degraded suite's metric)."""
+        failed = self.failures.get(variant, {})
+        return [name for name in self.times[variant] if name not in failed]
+
+    def completed_total(self, variant: str) -> float:
+        times = self.times[variant]
+        return sum(times[name] for name in self.completed(variant))
+
     def render(self) -> str:
         variants = list(self.times)
         headers = ["Query"] + [v.upper() for v in variants]
         rows = []
+        any_failed = any(self.failures.get(v) for v in variants)
         for name in paperdata.QUERIES + paperdata.UPDATES:
-            rows.append([name] + [
-                duration_cell(self.times[v].get(name)) for v in variants
-            ])
+            cells = [name]
+            for v in variants:
+                cell = duration_cell(self.times[v].get(name))
+                if name in self.failures.get(v, {}):
+                    cell += " !"
+                cells.append(cell)
+            rows.append(cells)
         rows.append(["Total (quer.)"] + [
             duration_cell(self.total(v, queries_only=True))
             for v in variants
@@ -66,9 +85,17 @@ class PowerTestResult:
         rows.append(["Total (all)"] + [
             duration_cell(self.total(v)) for v in variants
         ])
+        if any_failed:
+            rows.append(["Total (compl.)"] + [
+                duration_cell(self.completed_total(v)) for v in variants
+            ])
         title = (f"TPC-D Power Test, SAP R/3 {self.version.value}, "
                  f"SF={self.scale_factor} (simulated time)")
-        return render_table(headers, rows, title=title)
+        table = render_table(headers, rows, title=title)
+        if any_failed:
+            table += ("\n! failed/timed out; time shown is the partial "
+                      "charge until the abort")
+        return table
 
 
 def build_sap_system(data: TpcdData, version: R3Version,
@@ -88,6 +115,39 @@ def build_sap_system(data: TpcdData, version: R3Version,
     return r3
 
 
+def _guarded(clock: SimulatedClock, metrics, label: str,
+             timeout_s: float | None, fn):
+    """Run one suite member; never abort the suite.
+
+    Arms a per-query clock deadline when ``timeout_s`` is set and
+    degrades gracefully on robustness failures: a query killed by its
+    timeout or by an exhausted fault-retry budget is reported as
+    ``(partial_elapsed, None, reason)`` instead of raising, so the
+    power test continues with the remaining queries (the paper's "real
+    world" never gets to abort a benchmark run and start over).
+    """
+    span = clock.span()
+    token = None
+    if timeout_s is not None:
+        budget = timeout_s
+
+        def timed_out() -> Exception:
+            return StatementTimeout(
+                f"{label} exceeded {budget}s (simulated)"
+            )
+
+        token = clock.push_deadline(clock.now + budget, timed_out)
+    try:
+        value = fn()
+        return span.stop(), value, None
+    except TransientError as exc:
+        metrics.count("powertest.failures")
+        return span.stop(), None, f"{type(exc).__name__}: {exc}"
+    finally:
+        if token is not None:
+            clock.pop_deadline(token)
+
+
 def run_power_test(
     scale_factor: float = 0.002,
     version: R3Version = R3Version.V30,
@@ -95,6 +155,7 @@ def run_power_test(
     variants: tuple[str, ...] = ("rdbms", "native", "open"),
     include_updates: bool = True,
     data: TpcdData | None = None,
+    query_timeout_s: float | None = None,
 ) -> PowerTestResult:
     data = data or generate(scale_factor)
     refresh = generate_refresh_orders(data)
@@ -103,8 +164,10 @@ def run_power_test(
 
     if "rdbms" in variants:
         db = load_original(data, params=params)
-        result.times["rdbms"], result.row_counts["rdbms"] = \
-            _run_rdbms(db, scale_factor, refresh, doomed, include_updates)
+        (result.times["rdbms"], result.row_counts["rdbms"],
+         result.failures["rdbms"]) = _run_rdbms(
+            db, scale_factor, refresh, doomed, include_updates,
+            query_timeout_s)
 
     sap_suites = {
         "native": (native22 if version is R3Version.V22
@@ -114,47 +177,67 @@ def run_power_test(
     }
     sap_needed = [v for v in variants if v in sap_suites]
     uf_times: dict[str, float] = {}
+    uf_failures: dict[str, str] = {}
     for i, variant in enumerate(sap_needed):
         r3 = build_sap_system(data, version, params)
         times: dict[str, float] = {}
         counts: dict[str, int] = {}
+        failed: dict[str, str] = {}
         for number in range(1, 18):
-            span = r3.measure()
-            rows = sap_suites[variant][number](r3)
-            times[f"Q{number}"] = span.stop()
-            counts[f"Q{number}"] = len(rows)
+            name = f"Q{number}"
+            suite_fn = sap_suites[variant][number]
+            elapsed, rows, reason = _guarded(
+                r3.clock, r3.metrics, name, query_timeout_s,
+                lambda fn=suite_fn: fn(r3))
+            times[name] = elapsed
+            if reason is None:
+                counts[name] = len(rows)
+            else:
+                failed[name] = reason
         if include_updates:
             if not uf_times:
                 # Both SAP variants use the identical batch-input
                 # implementation; measure once, record for both.
-                span = r3.measure()
-                run_uf1_sap(r3, refresh)
-                uf_times["UF1"] = span.stop()
-                span = r3.measure()
-                run_uf2_sap(r3, doomed)
-                uf_times["UF2"] = span.stop()
+                for name, fn in (("UF1", lambda: run_uf1_sap(r3, refresh)),
+                                 ("UF2", lambda: run_uf2_sap(r3, doomed))):
+                    elapsed, _, reason = _guarded(
+                        r3.clock, r3.metrics, name, query_timeout_s, fn)
+                    uf_times[name] = elapsed
+                    if reason is not None:
+                        uf_failures[name] = reason
             times.update(uf_times)
+            failed.update(uf_failures)
         result.times[variant] = times
         result.row_counts[variant] = counts
+        result.failures[variant] = failed
     return result
 
 
 def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
-               doomed: list[int], include_updates: bool
-               ) -> tuple[dict[str, float], dict[str, int]]:
+               doomed: list[int], include_updates: bool,
+               query_timeout_s: float | None = None,
+               ) -> tuple[dict[str, float], dict[str, int], dict[str, str]]:
     specs = build_queries(scale_factor)
     times: dict[str, float] = {}
     counts: dict[str, int] = {}
+    failed: dict[str, str] = {}
     for number in sorted(specs):
-        span = db.clock.span()
-        rows = run_query(db, specs[number])
-        times[f"Q{number}"] = span.stop()
-        counts[f"Q{number}"] = len(rows.rows)
+        name = f"Q{number}"
+        spec = specs[number]
+        elapsed, rows, reason = _guarded(
+            db.clock, db.metrics, name, query_timeout_s,
+            lambda s=spec: run_query(db, s))
+        times[name] = elapsed
+        if reason is None:
+            counts[name] = len(rows.rows)
+        else:
+            failed[name] = reason
     if include_updates:
-        span = db.clock.span()
-        run_uf1_rdbms(db, refresh)
-        times["UF1"] = span.stop()
-        span = db.clock.span()
-        run_uf2_rdbms(db, doomed)
-        times["UF2"] = span.stop()
-    return times, counts
+        for name, fn in (("UF1", lambda: run_uf1_rdbms(db, refresh)),
+                         ("UF2", lambda: run_uf2_rdbms(db, doomed))):
+            elapsed, _, reason = _guarded(
+                db.clock, db.metrics, name, query_timeout_s, fn)
+            times[name] = elapsed
+            if reason is not None:
+                failed[name] = reason
+    return times, counts, failed

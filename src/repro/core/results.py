@@ -37,6 +37,50 @@ def kb_cell(byte_count: int) -> str:
     return f"{byte_count // 1024:,}"
 
 
+#: (metric name, printed label, 'count'|'duration') — the robustness
+#: counters every fault-aware bench reports next to its timings
+ROBUSTNESS_COUNTERS = [
+    ("faults.disk_io_injected", "Disk I/O faults injected", "count"),
+    ("faults.connection_drops_injected", "Connection drops injected",
+     "count"),
+    ("faults.crashes_injected", "Work-process crashes injected", "count"),
+    ("disk.io_retries", "Disk retries", "count"),
+    ("dbif.retries", "DBIF reconnect retries", "count"),
+    ("dbif.backoff_s", "DBIF backoff charged", "duration"),
+    ("dbif.statement_timeouts", "Statement timeouts", "count"),
+    ("powertest.failures", "Power-test queries degraded", "count"),
+    ("batchinput.checkpoints", "Checkpoints written", "count"),
+    ("batchinput.checkpoint_overhead_s", "Checkpoint overhead", "duration"),
+    ("batchinput.rollbacks", "Batch rollbacks", "count"),
+    ("batchinput.journal_resumes", "Journal resumes", "count"),
+    ("recovery.rows_rolled_back", "Rows rolled back", "count"),
+]
+
+
+def robustness_summary(metrics, title: str = "Robustness counters") -> str:
+    """Fault/retry/checkpoint counters as a paper-style table.
+
+    ``metrics`` is a :class:`~repro.sim.metrics.MetricsCollector` or a
+    plain name→value mapping.  Zero counters are suppressed; an all-zero
+    collector renders a single "no faults" line so a fault-free run is
+    visibly fault-free rather than silent.
+    """
+    values = metrics.all() if hasattr(metrics, "all") else dict(metrics)
+    rows: list[list[object]] = []
+    for name, label, kind in ROBUSTNESS_COUNTERS:
+        value = values.get(name, 0)
+        if not value:
+            continue
+        if kind == "duration":
+            rows.append([label, format_duration(value)])
+        else:
+            rows.append([label, f"{int(value):,}"])
+    if not rows:
+        rows.append(["(no faults injected, no retries, no checkpoints)",
+                     "-"])
+    return render_table(["Counter", "Value"], rows, title=title)
+
+
 def ratio(a: float, b: float) -> float:
     """a / b with a guard for zero denominators."""
     if b == 0:

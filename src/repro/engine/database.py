@@ -110,6 +110,8 @@ class Database:
             seq_read_s=self.params.seq_read_s,
             random_read_s=self.params.random_read_s,
             write_s=self.params.write_s,
+            retry_penalty_s=self.params.disk_retry_penalty_s,
+            max_retries=self.params.disk_max_retries,
         )
         capacity = max(
             1, self.params.buffer_pool_bytes // self.params.page_size_bytes

@@ -1,29 +1,66 @@
-"""Engine exception hierarchy."""
+"""Engine exception hierarchy.
+
+Two branches matter for robustness handling:
+
+* :class:`TransientError` — the operation failed for a reason that a
+  retry (possibly after a backoff) can plausibly fix: a dropped
+  app-server/DB connection, a transient disk I/O error, a statement
+  killed by a timeout.  The DBIF and the disk model retry these.
+* :class:`PermanentError` — retrying is pointless: malformed SQL,
+  unknown catalog objects, constraint violations.  These propagate.
+
+Everything still derives from :class:`EngineError`, so existing
+``except EngineError`` sites keep working unchanged.
+"""
 
 
 class EngineError(Exception):
     """Base class for all engine errors."""
 
 
-class SqlSyntaxError(EngineError):
+class TransientError(EngineError):
+    """An error a retry can plausibly fix (fault-injection class)."""
+
+
+class PermanentError(EngineError):
+    """An error retrying cannot fix; must propagate to the caller."""
+
+
+# -- transient branch -------------------------------------------------------
+
+class DiskIOError(TransientError):
+    """A page transfer failed (simulated media/controller hiccup)."""
+
+
+class ConnectionLostError(TransientError):
+    """The app-server <-> RDBMS connection dropped mid-round-trip."""
+
+
+class StatementTimeout(TransientError):
+    """A statement/query exceeded its simulated-time deadline."""
+
+
+# -- permanent branch -------------------------------------------------------
+
+class SqlSyntaxError(PermanentError):
     """Raised by the lexer/parser on malformed SQL text."""
 
 
-class CatalogError(EngineError):
+class CatalogError(PermanentError):
     """Unknown or duplicate table/view/index/column."""
 
 
-class PlanError(EngineError):
+class PlanError(PermanentError):
     """The planner could not produce a plan (unsupported construct)."""
 
 
-class ExecutionError(EngineError):
+class ExecutionError(PermanentError):
     """Runtime failure while executing a plan."""
 
 
-class TypeError_(EngineError):
+class TypeError_(PermanentError):
     """Value incompatible with a column's declared SQL type."""
 
 
-class ConstraintError(EngineError):
+class ConstraintError(PermanentError):
     """Primary-key or not-null violation."""

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.engine.errors import PlanError
 from repro.engine.expr import (
     ColumnRef,
     CorrelationCell,
@@ -37,7 +38,7 @@ def bind_expr(
         elif isinstance(node, SubqueryExpr):
             if node.executor is None:
                 if compile_subquery is None:
-                    raise RuntimeError(
+                    raise PlanError(
                         "subquery encountered without a compiler"
                     )
                 compile_subquery(node, schema)

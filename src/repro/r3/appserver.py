@@ -59,6 +59,8 @@ class R3System:
         self.metrics = self.db.metrics
         self.client = client
         self.ddic = DataDictionary()
+        #: optional FaultInjector (see :meth:`attach_faults`)
+        self.faults = None
         self.dbif = DatabaseInterface(self)
         self.buffers = TableBufferManager(self)
         self.pools: dict[str, PoolContainer] = {}
@@ -75,6 +77,30 @@ class R3System:
     def measure(self) -> ClockSpan:
         """Open a simulated-time measurement window."""
         return self.clock.span()
+
+    # -- fault injection ----------------------------------------------------
+
+    def attach_faults(self, profile_or_injector) -> "object":
+        """Attach a fault injector to every tier of this system.
+
+        Accepts a :class:`~repro.sim.faults.FaultProfile` (an injector
+        is built on this system's clock/metrics) or a ready-made
+        :class:`~repro.sim.faults.FaultInjector`.  Returns the injector.
+        """
+        from repro.sim.faults import FaultInjector, FaultProfile
+
+        if isinstance(profile_or_injector, FaultProfile):
+            injector = FaultInjector(profile_or_injector, self.clock,
+                                     self.metrics)
+        else:
+            injector = profile_or_injector
+        self.faults = injector
+        self.db.disk.faults = injector
+        return injector
+
+    def detach_faults(self) -> None:
+        self.faults = None
+        self.db.disk.faults = None
 
     # -- cost charging -------------------------------------------------------
 
@@ -124,43 +150,75 @@ class R3System:
     # -- logical writes (used by batch input and the loader) ---------------------
 
     def insert_logical(self, table_name: str, row: tuple,
-                       bulk: bool = False) -> None:
-        """Insert one logical row (without MANDT) into a table."""
+                       bulk: bool = False) -> tuple[str, int]:
+        """Insert one logical row (without MANDT) into a table.
+
+        Returns the physical ``(table_name, rowid)`` of the stored row
+        so callers that need crash rollback (batch input) can undo it.
+        """
         table = self.ddic.lookup(table_name)
         full_row = (self.client,) + tuple(row)
         if table.kind is TableKind.TRANSPARENT:
-            self.db.catalog.table(table.name).insert(full_row, bulk=bulk)
+            physical_name = table.name
+            rowid = self.db.catalog.table(table.name).insert(
+                full_row, bulk=bulk)
         elif table.kind is TableKind.POOL:
             container = self.pools[table.container]
             physical = container.physical_row(table, full_row)
-            self.db.catalog.table(container.name).insert(physical, bulk=bulk)
+            physical_name = container.name
+            rowid = self.db.catalog.table(container.name).insert(
+                physical, bulk=bulk)
         else:
             raise DDicError(
                 f"{table.name}: cluster rows must be written per cluster "
                 f"(insert_cluster)"
             )
         self.buffers.invalidate(table.name)
+        return (physical_name, rowid)
 
     def insert_cluster(self, table_name: str, cluster_key: tuple,
-                       rows: list[tuple], bulk: bool = False) -> None:
+                       rows: list[tuple],
+                       bulk: bool = False) -> list[tuple[str, int]]:
         """Write all logical rows of one cluster record.
 
         After a table has been converted to transparent (3.0), the same
         document-level write degrades gracefully to row-wise inserts.
+        Returns the physical ``(table_name, rowid)`` pairs written.
         """
         table = self.ddic.lookup(table_name)
         if table.kind is TableKind.TRANSPARENT:
-            for row in rows:
-                self.insert_logical(table_name, row, bulk=bulk)
-            return
+            return [self.insert_logical(table_name, row, bulk=bulk)
+                    for row in rows]
         if table.kind is not TableKind.CLUSTER:
             raise DDicError(f"{table.name} is not a cluster table")
         container = self.clusters[table.container]
         physical_table = self.db.catalog.table(container.name)
+        written = []
         for physical in container.physical_rows(self.client, cluster_key,
                                                 rows):
-            physical_table.insert(physical, bulk=bulk)
+            rowid = physical_table.insert(physical, bulk=bulk)
+            written.append((container.name, rowid))
         self.buffers.invalidate(table.name)
+        return written
+
+    def rollback_rows(self, undo: list[tuple[str, int]]) -> int:
+        """Undo physical inserts (crash recovery / failed batch).
+
+        Deletes in reverse insertion order, charging the per-row undo
+        cost plus the regular delete I/O; invalidates app-server
+        buffers once per touched table.  Returns the number of rows
+        removed.
+        """
+        touched: set[str] = set()
+        for physical_name, rowid in reversed(undo):
+            self.db.catalog.table(physical_name).delete(rowid)
+            self.clock.charge(self.params.rollback_row_s)
+            touched.add(physical_name)
+        for name in touched:
+            self.buffers.invalidate(name)
+        if undo:
+            self.metrics.count("recovery.rows_rolled_back", len(undo))
+        return len(undo)
 
     # -- conversion (2.2 pool only; 3.0 any; used by the upgrade) ------------------
 

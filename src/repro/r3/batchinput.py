@@ -7,6 +7,18 @@ resulting rows **one tuple at a time** — never through the RDBMS's
 bulk loader.  This is the whole explanation of the paper's Table 3
 (a month to load 1.7 GB): per-record screen processing + check queries
 + tuple-wise index maintenance.
+
+A month-long load does not survive the real world without crashes, so
+the facility also supports **checkpointed execution**: transactions are
+grouped into commit batches of ``commit_interval``; after each batch a
+checkpoint record is written to a :class:`LoadJournal` (its cost
+charged to the simulated clock).  If the work process crashes — or any
+error escapes mid-batch — every row inserted since the last checkpoint
+is rolled back before the exception propagates, leaving the database
+exactly at the journalled state.  A later session resumes from the
+journal, skipping committed transactions, so replay is idempotent: the
+recovered load produces the same rows as a fault-free one, with zero
+duplicates.
 """
 
 from __future__ import annotations
@@ -42,17 +54,67 @@ class BatchInputStats:
     failures: int = 0
 
 
-class BatchInputSession:
-    """Processes batch transactions against one R/3 system."""
+@dataclass
+class PhaseProgress:
+    """Journalled progress of one load phase (one TPC-D entity)."""
 
-    def __init__(self, r3, strict: bool = True) -> None:
+    transactions_committed: int = 0
+    batches_committed: int = 0
+    complete: bool = False
+
+
+class LoadJournal:
+    """In-memory stand-in for the on-disk batch-input restart journal.
+
+    One record per phase; writing a checkpoint record is charged to the
+    simulated clock by the session (``checkpoint_s``), reading it on
+    resume costs ``journal_read_s``.
+    """
+
+    def __init__(self) -> None:
+        self.setup_done = False
+        self.phases: dict[str, PhaseProgress] = {}
+
+    def phase(self, name: str) -> PhaseProgress:
+        return self.phases.setdefault(name, PhaseProgress())
+
+
+class BatchInputSession:
+    """Processes batch transactions against one R/3 system.
+
+    Without a journal the session behaves exactly as before: every
+    transaction commits individually and errors propagate immediately.
+    With ``journal`` + ``commit_interval`` set, :meth:`run_phase`
+    checkpoints every ``commit_interval`` transactions and rolls
+    uncommitted work back when an exception (including an injected
+    :class:`~repro.r3.errors.WorkProcessCrash`) escapes.
+    """
+
+    def __init__(self, r3, strict: bool = True,
+                 commit_interval: int | None = None,
+                 journal: LoadJournal | None = None) -> None:
+        if commit_interval is not None and commit_interval < 1:
+            raise ValueError("commit_interval must be >= 1")
         self._r3 = r3
         self.strict = strict
+        self.commit_interval = commit_interval
+        self.journal = journal
         self.stats = BatchInputStats()
+        #: physical (table, rowid) pairs inserted since the last checkpoint
+        self._undo: list[tuple[str, int]] = []
+        self._uncommitted = 0
+
+    @property
+    def _checkpointing(self) -> bool:
+        return self.journal is not None
 
     def run(self, transaction: BatchTransaction) -> None:
         r3 = self._r3
         params = r3.params
+        # Work-process crash hook: crashes land on transaction
+        # boundaries, the granularity at which R/3 dispatches work.
+        if r3.faults is not None:
+            r3.faults.maybe_crash()
         # Screen simulation + fixed per-record machinery.
         r3.clock.charge(transaction.screens * params.screen_s)
         r3.clock.charge(params.batch_record_overhead_s)
@@ -71,10 +133,15 @@ class BatchInputSession:
                 return
         # Tuple-at-a-time inserts (no bulk path, full index maintenance).
         for table, row in transaction.inserts:
-            r3.insert_logical(table, row, bulk=False)
+            written = r3.insert_logical(table, row, bulk=False)
+            if self._checkpointing:
+                self._undo.append(written)
             self.stats.records_inserted += 1
         for table, cluster_key, rows in transaction.cluster_inserts:
-            r3.insert_cluster(table, cluster_key, rows, bulk=False)
+            written_rows = r3.insert_cluster(table, cluster_key, rows,
+                                             bulk=False)
+            if self._checkpointing:
+                self._undo.extend(written_rows)
             self.stats.records_inserted += len(rows)
         for delete_sql, delete_params in transaction.deletes:
             r3.dbif.execute_param(delete_sql, delete_params)
@@ -86,6 +153,71 @@ class BatchInputSession:
         for transaction in transactions:
             self.run(transaction)
         return self.stats
+
+    # -- checkpointed execution ------------------------------------------------
+
+    def run_phase(self, name: str, transactions) -> BatchInputStats:
+        """Run one journalled phase; resumes past committed work.
+
+        Transactions the journal already records as committed are
+        regenerated and discarded without charging the clock (the work
+        itself was paid for — and journalled — by the crashed run).
+        Any exception escaping mid-batch triggers a rollback to the
+        last checkpoint before it propagates.
+        """
+        if not self._checkpointing:
+            return self.run_all(transactions)
+        r3 = self._r3
+        progress = self.journal.phase(name)
+        if progress.complete:
+            r3.metrics.count("batchinput.journal_phase_skips")
+            return self.stats
+        if progress.transactions_committed:
+            r3.clock.charge(r3.params.journal_read_s)
+            r3.metrics.count("batchinput.journal_resumes")
+        iterator = iter(transactions)
+        for _ in range(progress.transactions_committed):
+            next(iterator)
+        self._undo.clear()
+        self._uncommitted = 0
+        try:
+            for transaction in iterator:
+                self.run(transaction)
+                self._uncommitted += 1
+                if self.commit_interval is not None \
+                        and self._uncommitted >= self.commit_interval:
+                    self._checkpoint(progress)
+            self._checkpoint(progress)
+            progress.complete = True
+        except BaseException:
+            self._rollback_uncommitted()
+            raise
+        return self.stats
+
+    def _checkpoint(self, progress: PhaseProgress) -> None:
+        """Commit the open batch: journal write + undo-log reset."""
+        if not self._uncommitted:
+            return
+        r3 = self._r3
+        r3.clock.charge(r3.params.checkpoint_s)
+        r3.metrics.count("batchinput.checkpoints")
+        r3.metrics.count("batchinput.checkpoint_overhead_s",
+                         r3.params.checkpoint_s)
+        progress.transactions_committed += self._uncommitted
+        progress.batches_committed += 1
+        self._uncommitted = 0
+        self._undo.clear()
+
+    def _rollback_uncommitted(self) -> None:
+        """Undo every row inserted since the last checkpoint."""
+        if not self._undo:
+            self._uncommitted = 0
+            return
+        r3 = self._r3
+        r3.metrics.count("batchinput.rollbacks")
+        r3.rollback_rows(self._undo)
+        self._undo.clear()
+        self._uncommitted = 0
 
 
 def effective_parallel_time(elapsed: float, processes: int) -> float:

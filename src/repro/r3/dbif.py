@@ -9,6 +9,16 @@ Open SQL statements arrive here already translated into parameterized
 SQL; the interface keeps a cursor cache so re-executing the same
 statement text reuses the prepared plan (cursor REOPEN), which is also
 why the RDBMS optimizer never sees Open SQL literals.
+
+Robustness: when the R/3 system has a fault injector attached, a round
+trip may fail with a ``ConnectionLostError``.  The interface then
+reconnects and retries with exponential backoff — every backoff second
+is charged to the simulated clock (it is real elapsed time for the
+user) and counted in the metrics.  Only after ``dbif_max_retries``
+consecutive failures does the loss propagate, chained to the injected
+fault.  A per-statement timeout (``statement_timeout_s``) arms a clock
+deadline around execution and raises ``StatementTimeout`` with the
+partial cost already charged.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.engine.database import PreparedStatement, Result
+from repro.engine.errors import ConnectionLostError, StatementTimeout
 
 
 class DatabaseInterface:
@@ -24,6 +35,8 @@ class DatabaseInterface:
         self._cursor_cache: dict[str, PreparedStatement] = {}
         #: global switch (ablation A2 turns cursor caching off)
         self.cache_enabled = True
+        #: simulated-seconds budget per statement (None = no timeout)
+        self.statement_timeout_s: float | None = None
 
     # -- parameterized path (Open SQL, cluster/pool physical reads) -------
 
@@ -31,8 +44,7 @@ class DatabaseInterface:
                       use_cursor_cache: bool = True) -> Result:
         """Round trip with a parameterized statement (plan cached)."""
         r3 = self._r3
-        r3.clock.charge(r3.params.roundtrip_s)
-        r3.metrics.count("dbif.roundtrips")
+        self._roundtrip()
         if use_cursor_cache and self.cache_enabled:
             stmt = self._cursor_cache.get(sql)
             if stmt is None:
@@ -44,7 +56,7 @@ class DatabaseInterface:
         else:
             r3.metrics.count("dbif.cursor_cache_bypassed")
             stmt = r3.db.prepare(sql)
-        result = stmt.execute(params)
+        result = self._execute_timed(sql, lambda: stmt.execute(params))
         self._charge_shipping(result)
         return result
 
@@ -55,9 +67,9 @@ class DatabaseInterface:
         """Round trip with literal SQL: planned fresh, literals visible
         to the optimizer."""
         r3 = self._r3
-        r3.clock.charge(r3.params.roundtrip_s)
-        r3.metrics.count("dbif.roundtrips")
-        result = r3.db.execute(sql, params)
+        self._roundtrip()
+        result = self._execute_timed(
+            sql, lambda: r3.db.execute(sql, params))
         self._charge_shipping(result)
         return result
 
@@ -65,6 +77,57 @@ class DatabaseInterface:
         self._cursor_cache.clear()
 
     # -- internals ------------------------------------------------------------
+
+    def _roundtrip(self) -> None:
+        """Charge one round trip, reconnecting through injected drops.
+
+        Each attempt pays the round-trip latency; each failure pays an
+        exponentially growing backoff before the reconnect.  Retry
+        exhaustion re-raises the loss chained to the injected fault.
+        """
+        r3 = self._r3
+        attempt = 0
+        while True:
+            r3.clock.charge(r3.params.roundtrip_s)
+            r3.metrics.count("dbif.roundtrips")
+            if r3.faults is None:
+                return
+            try:
+                r3.faults.on_roundtrip()
+                return
+            except ConnectionLostError as exc:
+                attempt += 1
+                r3.metrics.count("dbif.connection_drops")
+                if attempt > r3.params.dbif_max_retries:
+                    raise ConnectionLostError(
+                        f"connection lost; {attempt} attempts exhausted"
+                    ) from exc
+                backoff = (r3.params.dbif_backoff_base_s
+                           * 2 ** (attempt - 1))
+                r3.clock.charge(backoff)
+                r3.metrics.count("dbif.retries")
+                r3.metrics.count("dbif.backoff_s", backoff)
+
+    def _execute_timed(self, sql: str, run) -> Result:
+        """Execute under the per-statement deadline, if one is set."""
+        r3 = self._r3
+        if self.statement_timeout_s is None:
+            return run()
+        budget = self.statement_timeout_s
+
+        def timed_out() -> Exception:
+            return StatementTimeout(
+                f"statement exceeded {budget}s (simulated): {sql[:80]}"
+            )
+
+        token = r3.clock.push_deadline(r3.clock.now + budget, timed_out)
+        try:
+            return run()
+        except StatementTimeout:
+            r3.metrics.count("dbif.statement_timeouts")
+            raise
+        finally:
+            r3.clock.pop_deadline(token)
 
     def _charge_shipping(self, result: Result) -> None:
         r3 = self._r3

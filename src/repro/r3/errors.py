@@ -19,3 +19,14 @@ class NativeSqlError(R3Error):
 
 class BatchInputError(R3Error):
     """A batch-input transaction failed its consistency checks."""
+
+
+class WorkProcessCrash(R3Error):
+    """An injected app-server work-process crash.
+
+    Raised at transaction boundaries by the fault injector; everything
+    the crashed process did since its last checkpoint is rolled back
+    before the exception propagates, so a caller that catches it can
+    resume from the journal.
+    """
+

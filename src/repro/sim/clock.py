@@ -8,6 +8,8 @@ same clock keeps accumulating globally.
 
 from __future__ import annotations
 
+from typing import Callable
+
 
 class ClockSpan:
     """A window over the clock; ``elapsed`` is time charged since entry."""
@@ -44,6 +46,8 @@ class SimulatedClock:
 
     def __init__(self) -> None:
         self._now = 0.0
+        self._deadlines: dict[int, tuple[float, Callable[[], Exception]]] = {}
+        self._next_deadline_token = 0
 
     @property
     def now(self) -> float:
@@ -51,10 +55,19 @@ class SimulatedClock:
         return self._now
 
     def charge(self, seconds: float) -> None:
-        """Advance the clock by ``seconds`` of simulated work."""
+        """Advance the clock by ``seconds`` of simulated work.
+
+        If the advance crosses an armed deadline, the deadline fires:
+        its entry is removed and its exception raised.  The charge
+        itself still lands first, so the caller sees the *partial*
+        simulated cost accrued up to the abort — exactly how a timed-out
+        query shows up in the power-test reports.
+        """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         self._now += seconds
+        if self._deadlines:
+            self._check_deadlines()
 
     def span(self) -> ClockSpan:
         """Open a measurement window (usable as a context manager)."""
@@ -63,6 +76,40 @@ class SimulatedClock:
     def reset(self) -> None:
         """Rewind to zero.  Only meant for harness setup, not mid-run."""
         self._now = 0.0
+        self._deadlines.clear()
+
+    # -- deadlines (statement/query timeouts) --------------------------------
+
+    def push_deadline(self, at: float,
+                      exc_factory: Callable[[], Exception]) -> int:
+        """Arm a deadline at absolute simulated time ``at``.
+
+        Returns a token for :meth:`pop_deadline`.  When a ``charge``
+        crosses ``at``, ``exc_factory()`` is raised from inside the
+        charging call — aborting whatever simulated work was in flight,
+        wherever in the stack it happened.  Deadlines nest; the earliest
+        armed one fires first.
+        """
+        token = self._next_deadline_token
+        self._next_deadline_token += 1
+        self._deadlines[token] = (at, exc_factory)
+        return token
+
+    def pop_deadline(self, token: int) -> None:
+        """Disarm a deadline; a no-op if it already fired."""
+        self._deadlines.pop(token, None)
+
+    def _check_deadlines(self) -> None:
+        expired = [
+            (at, token) for token, (at, _) in self._deadlines.items()
+            if self._now >= at
+        ]
+        if not expired:
+            return
+        expired.sort()
+        _, token = expired[0]
+        _, factory = self._deadlines.pop(token)
+        raise factory()
 
 
 def format_duration(seconds: float) -> str:

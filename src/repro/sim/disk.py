@@ -4,6 +4,12 @@ The paper's Table 6 hinges on exactly this asymmetry — an unclustered
 index scan that fetches 1.2M tuples by random I/O loses badly to a
 sequential full scan.  The model charges the buffer pool's *misses*;
 hits are charged a (much smaller) CPU cost by the buffer pool itself.
+
+With a :class:`~repro.sim.faults.FaultInjector` attached, each page
+transfer may fail with a transient ``DiskIOError``; the model retries
+on the spot (as a device driver would), charging the failed transfer
+plus an error-recovery penalty to the simulated clock.  Only when the
+retry budget is exhausted does the error propagate.
 """
 
 from __future__ import annotations
@@ -28,23 +34,51 @@ class DiskModel:
         seq_read_s: float,
         random_read_s: float,
         write_s: float,
+        retry_penalty_s: float = 0.030,
+        max_retries: int = 3,
     ) -> None:
         self._clock = clock
         self._metrics = metrics
         self._seq_read_s = seq_read_s
         self._random_read_s = random_read_s
         self._write_s = write_s
+        self._retry_penalty_s = retry_penalty_s
+        self._max_retries = max_retries
+        #: optional FaultInjector; None means a fault-free disk
+        self.faults = None
 
     def read_page(self, sequential: bool) -> None:
         """Charge one page read; ``sequential`` picks the cost class."""
         if sequential:
-            self._metrics.count("disk.seq_reads")
-            self._clock.charge(self._seq_read_s)
+            self._transfer("disk.seq_reads", self._seq_read_s)
         else:
-            self._metrics.count("disk.random_reads")
-            self._clock.charge(self._random_read_s)
+            self._transfer("disk.random_reads", self._random_read_s)
 
     def write_page(self) -> None:
         """Charge one page write."""
-        self._metrics.count("disk.writes")
-        self._clock.charge(self._write_s)
+        self._transfer("disk.writes", self._write_s)
+
+    def _transfer(self, counter: str, cost_s: float) -> None:
+        """One page transfer, retried through transient injected faults."""
+        if self.faults is None:
+            self._metrics.count(counter)
+            self._clock.charge(cost_s)
+            return
+        # Imported lazily: repro.engine imports this module at load time.
+        from repro.engine.errors import DiskIOError
+
+        attempts = 0
+        while True:
+            self._clock.charge(cost_s)
+            try:
+                self.faults.on_disk_op()
+                break
+            except DiskIOError as exc:
+                attempts += 1
+                self._metrics.count("disk.io_retries")
+                self._clock.charge(self._retry_penalty_s)
+                if attempts > self._max_retries:
+                    raise DiskIOError(
+                        f"page transfer failed after {attempts} attempts"
+                    ) from exc
+        self._metrics.count(counter)

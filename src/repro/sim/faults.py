@@ -1,0 +1,183 @@
+"""Deterministic fault injection.
+
+The paper's operational numbers come from the real world — a
+batch-input load that takes a month (Table 3) does not run on 1996
+hardware without disk hiccups, dropped connections and crashed work
+processes.  This module injects exactly those three fault classes into
+the simulator, **deterministically**: faults are scheduled from the
+operation counts and the simulated clock that the components already
+maintain, plus a seeded PRNG for interval jitter.  Same seed + same
+workload ⇒ bit-identical fault sequence, clocks and metrics.
+
+Fault classes (exception types live in :mod:`repro.engine.errors` /
+:mod:`repro.r3.errors`):
+
+* ``DiskIOError`` — transient page-transfer failure; the
+  :class:`~repro.sim.disk.DiskModel` retries it on the spot.
+* ``ConnectionLostError`` — the app-server/DB connection drops at a
+  round-trip boundary; :class:`~repro.r3.dbif.DatabaseInterface`
+  retries with exponential backoff.
+* ``WorkProcessCrash`` — the work process dies at a transaction
+  boundary; batch input rolls back to its last checkpoint and the
+  caller resumes from the journal.
+
+A :class:`FaultProfile` is declarative ("a connection drop every ~N
+round trips", "a crash at T simulated seconds"); the
+:class:`FaultInjector` turns it into raised exceptions at the
+instrumented hook points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A declarative fault schedule.
+
+    ``*_every`` values are mean operation-count intervals; ``jitter``
+    spreads each actual interval uniformly within ``±jitter`` of the
+    mean using the seeded PRNG (0 ⇒ exact periods).  ``None`` disables
+    a fault class entirely.
+    """
+
+    name: str = "none"
+    seed: int = 0
+    #: transient disk I/O error every ~N physical page transfers
+    disk_error_every: int | None = None
+    #: connection drop every ~N DBIF round trips
+    connection_drop_every: int | None = None
+    #: consecutive round-trip failures per connection fault (a burst
+    #: longer than the DBIF retry budget exhausts the retry loop)
+    connection_drop_burst: int = 1
+    #: work-process crashes at these absolute simulated times (seconds)
+    crash_at_s: tuple[float, ...] = ()
+    #: relative interval spread, 0.0..0.9
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.connection_drop_burst < 1:
+            raise ValueError("connection_drop_burst must be >= 1")
+
+
+#: the three standard profiles used by the robustness benchmark
+PROFILE_NONE = FaultProfile(name="none")
+PROFILE_LIGHT = FaultProfile(
+    name="light", seed=1996,
+    disk_error_every=25_000, connection_drop_every=8_000, jitter=0.25,
+)
+PROFILE_HEAVY = FaultProfile(
+    name="heavy", seed=1996,
+    disk_error_every=5_000, connection_drop_every=1_500, jitter=0.25,
+)
+
+
+class FaultInjector:
+    """Raises scheduled faults from component hook points.
+
+    Components call the ``on_*``/``maybe_*`` hooks at well-defined
+    operation boundaries; the injector counts the operations and raises
+    the scheduled exception when a fault comes due.  All scheduling
+    state derives from the profile's seed and the hook call sequence —
+    no wall clock, no global randomness.
+    """
+
+    def __init__(self, profile: FaultProfile, clock: SimulatedClock,
+                 metrics: MetricsCollector) -> None:
+        self.profile = profile
+        self._clock = clock
+        self._metrics = metrics
+        self._rng = random.Random(profile.seed)
+        self.disk_ops = 0
+        self.roundtrips = 0
+        self._next_disk_fault = self._next_after(0, profile.disk_error_every)
+        self._next_conn_fault = self._next_after(
+            0, profile.connection_drop_every)
+        self._conn_burst_left = 0
+        self._crashes = sorted(profile.crash_at_s)
+        self._crash_index = 0
+
+    # -- schedule arithmetic -------------------------------------------------
+
+    def _next_after(self, count: int, every: int | None) -> int | None:
+        """Operation count at which the next fault of a class fires."""
+        if every is None:
+            return None
+        if self.profile.jitter:
+            spread = int(every * self.profile.jitter)
+            every = every + self._rng.randint(-spread, spread)
+        return count + max(1, every)
+
+    # -- hook points ---------------------------------------------------------
+
+    def on_disk_op(self) -> None:
+        """Called by the disk model once per attempted page transfer."""
+        self.disk_ops += 1
+        if self._next_disk_fault is None \
+                or self.disk_ops < self._next_disk_fault:
+            return
+        self._next_disk_fault = self._next_after(
+            self.disk_ops, self.profile.disk_error_every)
+        self._metrics.count("faults.disk_io_injected")
+        from repro.engine.errors import DiskIOError
+        raise DiskIOError(
+            f"injected disk I/O error at op {self.disk_ops} "
+            f"(profile {self.profile.name!r})"
+        )
+
+    def on_roundtrip(self) -> None:
+        """Called by the DBIF once per attempted round trip."""
+        self.roundtrips += 1
+        if self._conn_burst_left > 0:
+            self._conn_burst_left -= 1
+            self._metrics.count("faults.connection_drops_injected")
+            from repro.engine.errors import ConnectionLostError
+            raise ConnectionLostError(
+                f"injected connection drop (burst) at round trip "
+                f"{self.roundtrips} (profile {self.profile.name!r})"
+            )
+        if self._next_conn_fault is None \
+                or self.roundtrips < self._next_conn_fault:
+            return
+        self._conn_burst_left = self.profile.connection_drop_burst - 1
+        # The burst is one fault event; the next period starts after it.
+        self._next_conn_fault = self._next_after(
+            self.roundtrips + self._conn_burst_left,
+            self.profile.connection_drop_every)
+        self._metrics.count("faults.connection_drops_injected")
+        from repro.engine.errors import ConnectionLostError
+        raise ConnectionLostError(
+            f"injected connection drop at round trip {self.roundtrips} "
+            f"(profile {self.profile.name!r})"
+        )
+
+    def maybe_crash(self) -> None:
+        """Called at work-process transaction boundaries.
+
+        Fires once per scheduled crash time, as soon as the simulated
+        clock has passed it.
+        """
+        if self._crash_index >= len(self._crashes):
+            return
+        if self._clock.now < self._crashes[self._crash_index]:
+            return
+        due = self._crashes[self._crash_index]
+        self._crash_index += 1
+        self._metrics.count("faults.crashes_injected")
+        from repro.r3.errors import WorkProcessCrash
+        raise WorkProcessCrash(
+            f"injected work-process crash scheduled at "
+            f"{due:.1f}s simulated (now {self._clock.now:.1f}s, "
+            f"profile {self.profile.name!r})"
+        )
+
+    @property
+    def crashes_pending(self) -> int:
+        return len(self._crashes) - self._crash_index

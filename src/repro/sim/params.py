@@ -58,6 +58,22 @@ class SimParams:
     batch_record_overhead_s: float = 0.25
     commit_s: float = 0.02
 
+    # ---- robustness / fault handling -------------------------------------
+    #: DBIF reconnect attempts before a connection loss becomes permanent
+    dbif_max_retries: int = 4
+    #: first reconnect backoff; doubles per attempt (exponential)
+    dbif_backoff_base_s: float = 0.05
+    #: disk-driver retries for one transient page-transfer error
+    disk_max_retries: int = 3
+    #: error-recovery penalty per failed page transfer
+    disk_retry_penalty_s: float = 0.030
+    #: writing + syncing one batch-input checkpoint journal record
+    checkpoint_s: float = 0.05
+    #: reading the journal once when a load resumes after a crash
+    journal_read_s: float = 0.02
+    #: per-row undo cost when rolling back an uncommitted batch
+    rollback_row_s: float = 0.002
+
     def pages_for_bytes(self, byte_count: int) -> int:
         """Number of pages needed to hold ``byte_count`` bytes."""
         if byte_count <= 0:

@@ -1,0 +1,55 @@
+"""Power test under faults: per-query timeout and graceful degradation."""
+
+import pytest
+
+from repro.core import paperdata
+from repro.core.powertest import run_power_test
+from repro.r3.appserver import R3Version
+from repro.tpcd.dbgen import generate
+
+SF = 0.0005
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SF)
+
+
+class TestTimeoutDegradation:
+    def test_tiny_timeout_degrades_but_suite_completes(self, data):
+        result = run_power_test(SF, R3Version.V30, variants=("rdbms",),
+                                include_updates=False, data=data,
+                                query_timeout_s=0.05)
+        times = result.times["rdbms"]
+        # Every query is present: the suite never aborts.
+        assert set(times) == set(paperdata.QUERIES)
+        failed = result.failures["rdbms"]
+        assert failed  # at SF 0.0005 several queries exceed 0.05s
+        for name, reason in failed.items():
+            assert "StatementTimeout" in reason
+            assert times[name] >= 0  # partial charge recorded
+            assert name not in result.row_counts["rdbms"]
+        assert set(result.completed("rdbms")) == \
+            set(times) - set(failed)
+        assert result.completed_total("rdbms") <= result.total("rdbms")
+
+    def test_render_marks_failures(self, data):
+        result = run_power_test(SF, R3Version.V30, variants=("rdbms",),
+                                include_updates=False, data=data,
+                                query_timeout_s=0.05)
+        rendered = result.render()
+        assert " !" in rendered
+        assert "Total (compl.)" in rendered
+        assert "partial" in rendered
+
+    def test_generous_timeout_changes_nothing(self, data):
+        plain = run_power_test(SF, R3Version.V30, variants=("rdbms",),
+                               include_updates=False, data=data)
+        timed = run_power_test(SF, R3Version.V30, variants=("rdbms",),
+                               include_updates=False, data=data,
+                               query_timeout_s=1e9)
+        assert not timed.failures["rdbms"]
+        assert timed.times["rdbms"] == plain.times["rdbms"]
+        assert timed.row_counts["rdbms"] == plain.row_counts["rdbms"]
+        assert "!" not in timed.render()
+        assert "Total (compl.)" not in timed.render()

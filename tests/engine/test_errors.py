@@ -1,0 +1,24 @@
+"""Error-hierarchy contract: transient vs permanent branches."""
+
+from repro.engine import errors
+
+
+class TestHierarchy:
+    def test_transient_branch(self):
+        for exc in (errors.DiskIOError, errors.ConnectionLostError,
+                    errors.StatementTimeout):
+            assert issubclass(exc, errors.TransientError)
+            assert issubclass(exc, errors.EngineError)
+            assert not issubclass(exc, errors.PermanentError)
+
+    def test_permanent_branch(self):
+        for exc in (errors.SqlSyntaxError, errors.CatalogError,
+                    errors.PlanError, errors.ExecutionError,
+                    errors.TypeError_, errors.ConstraintError):
+            assert issubclass(exc, errors.PermanentError)
+            assert issubclass(exc, errors.EngineError)
+            assert not issubclass(exc, errors.TransientError)
+
+    def test_branches_are_disjoint(self):
+        assert not issubclass(errors.TransientError, errors.PermanentError)
+        assert not issubclass(errors.PermanentError, errors.TransientError)

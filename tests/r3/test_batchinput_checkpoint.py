@@ -1,0 +1,171 @@
+"""Checkpointed batch input: journal, rollback, resume edge cases."""
+
+import pytest
+
+from repro.engine.types import SqlType
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.batchinput import (
+    BatchInputSession,
+    BatchTransaction,
+    LoadJournal,
+)
+from repro.r3.ddic import DDicField, DDicTable, TableKind
+from repro.r3.errors import BatchInputError, WorkProcessCrash
+from repro.sim.faults import FaultProfile
+
+
+def _system():
+    r3 = R3System(R3Version.V22)
+    r3.activate_table(DDicTable("t005", TableKind.TRANSPARENT, [
+        DDicField("land1", SqlType.char(3), key=True),
+    ]))
+    r3.activate_table(DDicTable("lfa1", TableKind.TRANSPARENT, [
+        DDicField("lifnr", SqlType.char(10), key=True),
+        DDicField("land1", SqlType.char(3)),
+    ]))
+    r3.insert_logical("t005", ("007",))
+    return r3
+
+
+def _supplier(i, land="007"):
+    return BatchTransaction(
+        screens=1,
+        checks=[("SELECT SINGLE land1 FROM t005 WHERE land1 = :l",
+                 {"l": land})],
+        inserts=[("lfa1", (f"S{i:04d}", land))],
+    )
+
+
+def _suppliers(n):
+    return [_supplier(i) for i in range(n)]
+
+
+def _count(r3):
+    return len(r3.dbif.execute_param("SELECT lifnr FROM lfa1", ()).rows)
+
+
+class TestCheckpointing:
+    def test_full_phase_commits_and_completes(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=3, journal=journal)
+        session.run_phase("SUPPLIER", _suppliers(10))
+        progress = journal.phase("SUPPLIER")
+        assert progress.complete
+        assert progress.transactions_committed == 10
+        assert progress.batches_committed == 4  # 3+3+3+1
+        assert r3.metrics.get("batchinput.checkpoints") == 4
+        assert r3.metrics.get("batchinput.checkpoint_overhead_s") == \
+            pytest.approx(4 * r3.params.checkpoint_s)
+        assert _count(r3) == 10
+
+    def test_checkpoint_overhead_absent_without_journal(self):
+        r3 = _system()
+        session = BatchInputSession(r3)
+        session.run_all(_suppliers(10))
+        assert r3.metrics.get("batchinput.checkpoints") == 0
+        assert _count(r3) == 10
+
+    def test_consistency_check_failure_mid_batch_rolls_back(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=2, journal=journal)
+        # Batch 1 (txn 0,1) commits; batch 2 starts with good txn 2,
+        # then txn 3 fails its check -> txn 2's row must be rolled back.
+        transactions = _suppliers(3) + [_supplier(99, land="bad")]
+        with pytest.raises(BatchInputError):
+            session.run_phase("SUPPLIER", transactions)
+        progress = journal.phase("SUPPLIER")
+        assert progress.transactions_committed == 2
+        assert not progress.complete
+        assert _count(r3) == 2  # txn 2 rolled back, batch 1 kept
+        assert r3.metrics.get("batchinput.rollbacks") == 1
+        assert r3.metrics.get("recovery.rows_rolled_back") == 1
+
+    def test_empty_phase_completes_without_checkpoints(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=5, journal=journal)
+        session.run_phase("EMPTY", [])
+        progress = journal.phase("EMPTY")
+        assert progress.complete
+        assert progress.batches_committed == 0
+        assert r3.metrics.get("batchinput.checkpoints") == 0
+
+
+class TestCrashRecovery:
+    def test_crash_rolls_back_to_last_checkpoint(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=4, journal=journal)
+        # The load charges ~0.4s/transaction; a crash at 2.0s simulated
+        # lands inside the second batch.
+        r3.attach_faults(FaultProfile(crash_at_s=(2.0,)))
+        with pytest.raises(WorkProcessCrash):
+            session.run_phase("SUPPLIER", _suppliers(20))
+        progress = journal.phase("SUPPLIER")
+        assert progress.transactions_committed % 4 == 0
+        assert _count(r3) == progress.transactions_committed
+        assert r3.metrics.get("faults.crashes_injected") == 1
+
+    def test_resume_with_zero_batches_committed_replays_everything(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=50, journal=journal)
+        r3.attach_faults(FaultProfile(crash_at_s=(2.0,)))
+        with pytest.raises(WorkProcessCrash):
+            session.run_phase("SUPPLIER", _suppliers(12))
+        assert journal.phase("SUPPLIER").transactions_committed == 0
+        assert _count(r3) == 0  # everything uncommitted was undone
+        resumed = BatchInputSession(r3, commit_interval=50, journal=journal)
+        resumed.run_phase("SUPPLIER", _suppliers(12))
+        assert journal.phase("SUPPLIER").complete
+        assert _count(r3) == 12
+
+    def test_resume_with_all_batches_committed_skips_phase(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=3, journal=journal)
+        session.run_phase("SUPPLIER", _suppliers(9))
+        before = r3.clock.now
+        resumed = BatchInputSession(r3, commit_interval=3, journal=journal)
+        resumed.run_phase("SUPPLIER", _suppliers(9))
+        assert r3.clock.now == before  # skip is free (journal in memory)
+        assert r3.metrics.get("batchinput.journal_phase_skips") == 1
+        assert _count(r3) == 9  # idempotent: no duplicate replay
+
+    def test_crash_resume_matches_fault_free_run(self):
+        fault_free = _system()
+        BatchInputSession(fault_free, commit_interval=4,
+                          journal=LoadJournal()).run_phase(
+            "SUPPLIER", _suppliers(20))
+
+        crashed = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(crashed, commit_interval=4,
+                                    journal=journal)
+        crashed.attach_faults(FaultProfile(crash_at_s=(3.0,)))
+        with pytest.raises(WorkProcessCrash):
+            session.run_phase("SUPPLIER", _suppliers(20))
+        resumed = BatchInputSession(crashed, commit_interval=4,
+                                    journal=journal)
+        resumed.run_phase("SUPPLIER", _suppliers(20))
+        free_rows = fault_free.dbif.execute_param(
+            "SELECT lifnr, land1 FROM lfa1", ()).rows
+        crash_rows = crashed.dbif.execute_param(
+            "SELECT lifnr, land1 FROM lfa1", ()).rows
+        assert sorted(crash_rows) == sorted(free_rows)
+        # Recovery costs extra simulated time (rollback + redo).
+        assert crashed.clock.now > fault_free.clock.now
+
+    def test_resume_partial_batch_does_not_duplicate(self):
+        r3 = _system()
+        journal = LoadJournal()
+        session = BatchInputSession(r3, commit_interval=4, journal=journal)
+        r3.attach_faults(FaultProfile(crash_at_s=(2.0,)))
+        with pytest.raises(WorkProcessCrash):
+            session.run_phase("SUPPLIER", _suppliers(20))
+        resumed = BatchInputSession(r3, commit_interval=4, journal=journal)
+        # A duplicate replay would violate lfa1's primary key and raise.
+        resumed.run_phase("SUPPLIER", _suppliers(20))
+        assert _count(r3) == 20

@@ -1,0 +1,142 @@
+"""DBIF retry/backoff, statement timeouts, and disk-level retry."""
+
+import pytest
+
+from repro.engine.errors import (
+    ConnectionLostError,
+    DiskIOError,
+    StatementTimeout,
+    TransientError,
+)
+from repro.engine.types import SqlType
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.ddic import DDicField, DDicTable, TableKind
+from repro.sim.faults import FaultProfile
+
+
+def _system():
+    r3 = R3System(R3Version.V22)
+    r3.activate_table(DDicTable("lfa1", TableKind.TRANSPARENT, [
+        DDicField("lifnr", SqlType.char(10), key=True),
+        DDicField("land1", SqlType.char(3)),
+    ]))
+    for i in range(50):
+        r3.insert_logical("lfa1", (f"S{i:04d}", "007"))
+    return r3
+
+
+class TestConnectionRetry:
+    def test_drop_is_retried_transparently(self):
+        r3 = _system()
+        r3.attach_faults(FaultProfile(connection_drop_every=3))
+        for _ in range(5):
+            result = r3.dbif.execute_param(
+                "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+            assert len(result.rows) == 50
+        assert r3.metrics.get("faults.connection_drops_injected") > 0
+        assert r3.metrics.get("dbif.retries") > 0
+
+    def test_backoff_is_charged_to_the_clock(self):
+        plain, faulted = _system(), _system()
+        faulted.attach_faults(FaultProfile(connection_drop_every=2))
+        for r3 in (plain, faulted):
+            for _ in range(6):
+                r3.dbif.execute_param(
+                    "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+        backoff = faulted.metrics.get("dbif.backoff_s")
+        assert backoff > 0
+        # Faulted run costs at least the backoff plus the re-sent
+        # round trips more than the fault-free twin.
+        assert faulted.clock.now > plain.clock.now + backoff
+
+    def test_retry_exhaustion_raises_chained_connection_lost(self):
+        r3 = _system()
+        burst = r3.params.dbif_max_retries + 2
+        r3.attach_faults(FaultProfile(connection_drop_every=2,
+                                      connection_drop_burst=burst))
+        with pytest.raises(ConnectionLostError) as excinfo:
+            for _ in range(5):
+                r3.dbif.execute_param(
+                    "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+        assert isinstance(excinfo.value.__cause__, ConnectionLostError)
+        assert isinstance(excinfo.value, TransientError)
+
+    def test_exponential_backoff_doubles(self):
+        r3 = _system()
+        # Fault due at round trip 5 with a 3-drop burst: the statement
+        # issued as the 5th round trip needs exactly three reconnects.
+        r3.attach_faults(FaultProfile(connection_drop_every=5,
+                                      connection_drop_burst=3))
+        for _ in range(4):
+            r3.dbif.execute_param(
+                "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+        before = r3.clock.now
+        r3.dbif.execute_param(
+            "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+        base = r3.params.dbif_backoff_base_s
+        expected_backoff = base + 2 * base + 4 * base  # three failures
+        assert r3.metrics.get("dbif.backoff_s") == pytest.approx(
+            expected_backoff)
+        assert r3.clock.now - before > expected_backoff
+
+
+class TestStatementTimeout:
+    def test_timeout_raises_and_charges_partial_time(self):
+        r3 = _system()
+        r3.dbif.statement_timeout_s = 1e-6
+        before = r3.clock.now
+        with pytest.raises(StatementTimeout):
+            r3.dbif.execute_param("SELECT lifnr FROM lfa1", ())
+        assert r3.clock.now > before  # partial charge landed
+        assert r3.metrics.get("dbif.statement_timeouts") == 1
+
+    def test_deadline_disarmed_after_statement(self):
+        r3 = _system()
+        r3.dbif.statement_timeout_s = 1e-6
+        with pytest.raises(StatementTimeout):
+            r3.dbif.execute_param("SELECT lifnr FROM lfa1", ())
+        r3.dbif.statement_timeout_s = None
+        result = r3.dbif.execute_param("SELECT lifnr FROM lfa1", ())
+        assert len(result.rows) == 50
+
+    def test_generous_timeout_is_harmless(self):
+        r3 = _system()
+        r3.dbif.statement_timeout_s = 1e9
+        result = r3.dbif.execute_param("SELECT lifnr FROM lfa1", ())
+        assert len(result.rows) == 50
+
+
+class TestDiskRetry:
+    def test_transient_disk_error_is_retried_at_the_driver(self):
+        # Inserts write through to disk, so the injector fires on them.
+        r3 = _system()
+        r3.attach_faults(FaultProfile(disk_error_every=3))
+        for i in range(100):
+            r3.insert_logical("lfa1", (f"T{i:04d}", "007"))
+        assert r3.metrics.get("faults.disk_io_injected") > 0
+        assert r3.metrics.get("disk.io_retries") \
+            >= r3.metrics.get("faults.disk_io_injected")
+        result = r3.dbif.execute_param(
+            "SELECT lifnr FROM lfa1 WHERE land1 = ?", ("007",))
+        assert len(result.rows) == 150  # nothing lost to the hiccups
+
+    def test_disk_retry_exhaustion_chains(self):
+        r3 = _system()
+        # every=1 makes every retry attempt fail too: the driver's
+        # retry budget must run out and surface a chained DiskIOError.
+        r3.attach_faults(FaultProfile(disk_error_every=1))
+        with pytest.raises(DiskIOError) as excinfo:
+            for i in range(100):
+                r3.insert_logical("lfa1", (f"T{i:04d}", "007"))
+        assert isinstance(excinfo.value.__cause__, DiskIOError)
+
+    def test_disk_faults_charge_recovery_time(self):
+        plain, faulted = R3System(R3Version.V22), R3System(R3Version.V22)
+        faulted.attach_faults(FaultProfile(disk_error_every=2))
+        for r3 in (plain, faulted):
+            r3.activate_table(DDicTable("zzz1", TableKind.TRANSPARENT, [
+                DDicField("id", SqlType.char(10), key=True),
+            ]))
+            for i in range(50):
+                r3.insert_logical("zzz1", (f"R{i:04d}",))
+        assert faulted.clock.now > plain.clock.now

@@ -1,0 +1,82 @@
+"""Fault-injected Table-3 load: determinism and crash recovery.
+
+The determinism test guards the whole reproduction's reproducibility
+claim: same seed + same fault profile must give bit-identical simulated
+clocks, metrics and row counts, or none of the paper-shape assertions
+mean anything.
+"""
+
+import pytest
+
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.batchinput import LoadJournal
+from repro.r3.errors import WorkProcessCrash
+from repro.sapschema.loader import load_sap_batch_input
+from repro.sim.faults import FaultProfile
+from repro.tpcd.dbgen import generate
+
+SF = 0.0002
+COMMIT_INTERVAL = 10
+
+FAULTY = FaultProfile(name="faulty", seed=1996, disk_error_every=800,
+                      connection_drop_every=400, jitter=0.25,
+                      crash_at_s=(120.0,))
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(SF)
+
+
+def _row_counts(r3):
+    return {name: r3.db.catalog.table(name).row_count
+            for name in r3.db.catalog.table_names}
+
+
+def _crash_and_recover(data):
+    """One full faulted load: crash at 120s simulated, then resume."""
+    r3 = R3System(R3Version.V22)
+    r3.attach_faults(FAULTY)
+    journal = LoadJournal()
+    timings = None
+    with pytest.raises(WorkProcessCrash):
+        timings = load_sap_batch_input(
+            r3, data, commit_interval=COMMIT_INTERVAL, journal=journal)
+    timings = load_sap_batch_input(
+        r3, data, commit_interval=COMMIT_INTERVAL, journal=journal)
+    return r3, timings
+
+
+class TestDeterminism:
+    def test_same_seed_same_profile_identical_runs(self, data):
+        first, _ = _crash_and_recover(data)
+        second, _ = _crash_and_recover(data)
+        assert first.clock.now == second.clock.now
+        assert first.metrics.all() == second.metrics.all()
+        assert _row_counts(first) == _row_counts(second)
+
+    def test_faults_actually_fired(self, data):
+        r3, _ = _crash_and_recover(data)
+        metrics = r3.metrics
+        assert metrics.get("faults.crashes_injected") == 1
+        assert metrics.get("faults.disk_io_injected") > 0
+        assert metrics.get("faults.connection_drops_injected") > 0
+        assert metrics.get("batchinput.checkpoints") > 0
+
+
+class TestRecovery:
+    def test_recovered_load_matches_fault_free_rows(self, data):
+        fault_free = R3System(R3Version.V22)
+        load_sap_batch_input(fault_free, data)
+        recovered, _ = _crash_and_recover(data)
+        assert _row_counts(recovered) == _row_counts(fault_free)
+
+    def test_checkpoint_overhead_is_small(self, data):
+        plain = R3System(R3Version.V22)
+        load_sap_batch_input(plain, data)
+        checkpointed = R3System(R3Version.V22)
+        load_sap_batch_input(checkpointed, data,
+                             commit_interval=COMMIT_INTERVAL)
+        overhead = (checkpointed.clock.now - plain.clock.now) \
+            / plain.clock.now
+        assert 0 <= overhead < 0.05
