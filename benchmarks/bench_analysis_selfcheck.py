@@ -1,0 +1,59 @@
+"""Smoke benchmark: the full-repo lint run must stay cheap.
+
+The analyzer runs in CI on every push (the lint gate), so its own cost
+is part of the development loop.  This bench times a full analysis of
+the report sources — extraction, parsing, rules, baseline matching —
+and asserts it stays under a wall-clock budget, plus a couple of
+result-shape invariants so a silently broken analyzer cannot "pass"
+by finding nothing.
+
+Budget override: REPRO_LINT_BUDGET_S (seconds, default 5).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import repro.reports
+from repro.analysis.baseline import Baseline, default_baseline_path
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.extractor import analyze_paths
+from repro.analysis.rules import run_rules
+
+LINT_BUDGET_S = float(os.environ.get("REPRO_LINT_BUDGET_S", "5"))
+
+REPORTS = Path(repro.reports.__file__).resolve().parent
+
+
+def _full_lint():
+    analyses = analyze_paths([REPORTS])
+    schema = SchemaInfo(scale_factor=1.0)
+    findings = run_rules(analyses, schema)
+    baseline = Baseline.load(default_baseline_path())
+    fresh = baseline.apply(findings)
+    return analyses, findings, fresh
+
+
+def test_full_repo_lint_under_budget():
+    started = time.perf_counter()
+    analyses, findings, fresh = _full_lint()
+    elapsed = time.perf_counter() - started
+
+    assert elapsed < LINT_BUDGET_S, (
+        f"full-repo lint took {elapsed:.2f}s "
+        f"(budget {LINT_BUDGET_S:.1f}s)"
+    )
+    # Shape invariants: the analyzer saw the report families and the
+    # committed baseline covers everything it found.
+    modules = {a.module for a in analyses}
+    assert {"open22", "open30", "native22", "native30",
+            "rdbms", "common"} <= modules
+    assert len({f.rule for f in findings}) >= 6
+    assert fresh == [], [f.key for f in fresh]
+
+
+def test_lint_throughput(benchmark):
+    result = benchmark(_full_lint)
+    _analyses, findings, _fresh = result
+    benchmark.extra_info["findings"] = len(findings)
+    benchmark.extra_info["rules_fired"] = len({f.rule for f in findings})

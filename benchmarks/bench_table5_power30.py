@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import paperdata
 from repro.core.powertest import run_power_test
 from repro.r3.appserver import R3Version
 

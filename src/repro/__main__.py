@@ -10,6 +10,10 @@ Runs any of the paper's experiments from the shell:
     python -m repro caching
     python -m repro warehouse
     python -m repro eis
+
+and the static analyzer over the report sources:
+
+    python -m repro lint --format=json
 """
 
 from __future__ import annotations
@@ -113,8 +117,15 @@ def cmd_eis(args) -> None:
     print(f"break-even after ~{rounds:.1f} power-test rounds")
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 COMMANDS = {
     "power": cmd_power,
+    "lint": cmd_lint,
     "dbsize": cmd_dbsize,
     "loading": cmd_loading,
     "plan-trap": cmd_plan_trap,
@@ -137,13 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
                         default="3.0", help="R/3 release (power test)")
     parser.add_argument("--no-updates", action="store_true",
                         help="skip UF1/UF2 in the power test")
+    lint = parser.add_argument_group("lint")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: repro.reports)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", help="lint output format")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: lint-baseline.json "
+                           "at the repo root)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report all findings as new")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept the current findings as the baseline")
+    lint.add_argument("--lint-scale", type=float, default=1.0,
+                      help="scale factor for lint cost estimates "
+                           "(default 1.0 — the paper's installation)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    COMMANDS[args.experiment](args)
-    return 0
+    return COMMANDS[args.experiment](args) or 0
 
 
 if __name__ == "__main__":

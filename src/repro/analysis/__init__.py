@@ -1,0 +1,23 @@
+"""Static performance analysis of the Open SQL report sources.
+
+``repro.analysis`` inspects the report code in ``repro.reports``
+*without executing it*: a Python-``ast`` extractor finds every
+``open_sql.select`` / ``select_single`` / ``exec_sql`` call site
+(with its loop nesting and memoization wrappers), parses the embedded
+statements with the existing Open SQL / engine SQL parsers, and
+cross-checks them against the data dictionary to emit ranked findings
+— the paper's anti-patterns, detected before a single row is read.
+
+Pipeline: extractor → rules → cost model → baseline → report.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import run_lint
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.extractor import analyze_paths
+from repro.analysis.rules import Finding, RULES, run_rules
+
+__all__ = [
+    "Baseline", "Finding", "RULES", "SchemaInfo", "analyze_paths",
+    "run_lint", "run_rules",
+]

@@ -1,0 +1,69 @@
+"""Finding baseline: suppress-but-count the intentional idioms.
+
+The 2.2 report family *deliberately* codes the paper's anti-patterns —
+that is the whole experiment — so the lint gate cannot simply fail on
+them.  Instead a committed JSON baseline lists the stable keys of
+known findings; baselined findings are reported and counted but do
+not fail the gate, while any finding whose key is not in the file is
+"new" and does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.rules import Finding
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` at the repository root (next to src/)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parents[2] / "lint-baseline.json"
+
+
+class Baseline:
+    """A set of accepted finding keys with a short context note each."""
+
+    def __init__(self, entries: dict[str, str] | None = None) -> None:
+        self.entries: dict[str, str] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        return cls(data.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls({
+            f.key: f"{f.module}.{f.func}:{f.line} {f.rule} {f.severity}"
+            for f in findings
+        })
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "comment": (
+                "Accepted lint findings. The 2.2 reports intentionally "
+                "reproduce the paper's anti-patterns; regenerate with "
+                "`python -m repro lint --write-baseline` after reviewing "
+                "any new finding."
+            ),
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Mark baselined findings in place; returns the new ones."""
+        fresh: list[Finding] = []
+        for finding in findings:
+            finding.baselined = finding.key in self.entries
+            if not finding.baselined:
+                fresh.append(finding)
+        return fresh
+
+    def __len__(self) -> int:
+        return len(self.entries)

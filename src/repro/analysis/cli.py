@@ -1,0 +1,66 @@
+"""``python -m repro lint`` — the analyzer's command-line entry.
+
+Exit status is the CI contract: 0 when every finding is baselined (or
+none exist), 1 when a new, non-baselined finding appears.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline, default_baseline_path
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.extractor import analyze_paths
+from repro.analysis.report import render_json, render_text
+from repro.analysis.rules import run_rules
+
+
+def default_lint_paths() -> list[Path]:
+    """The report sources the analyzer was built for."""
+    import repro.reports
+
+    return [Path(repro.reports.__file__).resolve().parent]
+
+
+def run_lint(paths: list[str | Path] | None = None,
+             output_format: str = "text",
+             baseline_path: str | Path | None = None,
+             use_baseline: bool = True,
+             write_baseline: bool = False,
+             scale: float = 1.0,
+             emit=print) -> int:
+    """Analyze ``paths`` and render findings; returns the exit status."""
+    targets = [Path(p) for p in paths] if paths else default_lint_paths()
+    analyses = analyze_paths(targets)
+    schema = SchemaInfo(scale_factor=scale)
+    findings = run_rules(analyses, schema)
+
+    resolved_baseline = Path(baseline_path) if baseline_path \
+        else default_baseline_path()
+    if write_baseline:
+        Baseline.from_findings(findings).save(resolved_baseline)
+        emit(f"wrote {len(findings)} finding key(s) to "
+             f"{resolved_baseline}")
+        return 0
+
+    baseline = Baseline.load(resolved_baseline) if use_baseline \
+        else Baseline()
+    fresh = baseline.apply(findings)
+
+    if output_format == "json":
+        emit(render_json(findings))
+    else:
+        emit(render_text(findings))
+    return 1 if fresh else 0
+
+
+def run_lint_command(args) -> int:
+    """Adapter for the ``python -m repro`` argument namespace."""
+    return run_lint(
+        paths=args.paths or None,
+        output_format=args.format,
+        baseline_path=args.baseline,
+        use_baseline=not args.no_baseline,
+        write_baseline=args.write_baseline,
+        scale=args.lint_scale,
+    )

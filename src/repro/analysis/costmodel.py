@@ -1,0 +1,231 @@
+"""Static schema metadata and cost estimation for the analyzer.
+
+The analyzer never opens a database: everything it knows about tables
+comes from the same sources the DDIC would consult at runtime —
+:mod:`repro.sapschema.tables` for field inventories, keys, kinds and
+secondary indexes, :mod:`repro.sapschema.views` for the 2.2 join
+views, and the TPC-D base cardinalities of :mod:`repro.tpcd.dbgen`
+scaled to a nominal scale factor.  Selectivity defaults are imported
+from :mod:`repro.engine.stats` so the static estimates blind
+themselves exactly the way the runtime optimizer does on parameter
+markers (the Table 6 trap).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.engine.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_LIKE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
+from repro.r3.ddic import TableKind
+from repro.sapschema.tables import SAP_SECONDARY_INDEXES, SAP_TABLE_INFO
+from repro.sapschema.views import JOIN_VIEWS
+from repro.tpcd.dbgen import (
+    BASE_CUSTOMERS,
+    BASE_ORDERS,
+    BASE_PARTS,
+    BASE_SUPPLIERS,
+)
+
+#: TPC-D 1.0 derived cardinalities at SF = 1 (lineitems ~4 per order,
+#: KONV carries one DISC and one TAX condition per lineitem)
+_BASE_LINEITEMS = 4 * BASE_ORDERS
+
+#: logical SAP table -> row count at SF = 1.0
+BASE_SAP_ROWS: dict[str, int] = {
+    "t005": 25,
+    "t005t": 25,
+    "t005u": 5,
+    "mara": BASE_PARTS,
+    "makt": BASE_PARTS,
+    "a004": BASE_PARTS,
+    "konp": BASE_PARTS,
+    "lfa1": BASE_SUPPLIERS,
+    "eina": 4 * BASE_PARTS,
+    "eine": 4 * BASE_PARTS,
+    "ausp": BASE_PARTS,
+    "kna1": BASE_CUSTOMERS,
+    "vbak": BASE_ORDERS,
+    "vbap": _BASE_LINEITEMS,
+    "vbep": _BASE_LINEITEMS,
+    "konv": 2 * _BASE_LINEITEMS,
+    "stxl": BASE_SUPPLIERS + BASE_CUSTOMERS,
+}
+
+#: rows below which a full scan is never worth a finding
+FULL_SCAN_ROW_FLOOR = 1_000
+
+_VIEW_COLUMN_RE = re.compile(r"(\w+)\.(\w+)\s+AS\s+(\w+)", re.IGNORECASE)
+_VIEW_FROM_RE = re.compile(r"\bFROM\s+([\w\s,]+?)\s+WHERE", re.IGNORECASE)
+
+
+@dataclass
+class TableInfo:
+    """What the analyzer knows about one logical table or view."""
+
+    name: str
+    kind: TableKind
+    is_view: bool
+    rows: int
+    #: ordered non-MANDT key fields ('' for views)
+    key_fields: tuple[str, ...]
+    #: all declared field names
+    field_names: tuple[str, ...]
+    #: columns that lead a usable access path (key prefix or index)
+    indexed_columns: frozenset[str] = field(default_factory=frozenset)
+    #: view column -> (base table, base column); empty for base tables
+    view_columns: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+
+class SchemaInfo:
+    """DDIC snapshot + statistics, assembled without a live system."""
+
+    def __init__(self, scale_factor: float = 1.0) -> None:
+        self.scale_factor = scale_factor
+        self.tables: dict[str, TableInfo] = {}
+        self._secondary: dict[str, list[str]] = {}
+        for _name, table, columns in SAP_SECONDARY_INDEXES:
+            self._secondary.setdefault(table, []).append(columns[0])
+        for name, info in SAP_TABLE_INFO.items():
+            keys = tuple(
+                f.name.lower() for f in info.fields if f.key
+            )
+            indexed = set(self._secondary.get(name, []))
+            if keys:
+                indexed.add(keys[0])
+            self.tables[name] = TableInfo(
+                name=name,
+                kind=info.kind,
+                is_view=False,
+                rows=self._scaled(BASE_SAP_ROWS.get(name, 0)),
+                key_fields=keys,
+                field_names=tuple(f.name.lower() for f in info.fields),
+                indexed_columns=frozenset(indexed),
+            )
+        for view, sql in JOIN_VIEWS.items():
+            self.tables[view] = self._view_info(view, sql)
+
+    def _scaled(self, base: int) -> int:
+        if base <= 25:  # t005 and friends do not scale
+            return base
+        return max(1, int(base * self.scale_factor))
+
+    def _view_info(self, view: str, sql: str) -> TableInfo:
+        columns: dict[str, tuple[str, str]] = {}
+        for base, base_col, view_col in _VIEW_COLUMN_RE.findall(sql):
+            columns[view_col.lower()] = (base.lower(), base_col.lower())
+        rows = 0
+        indexed: set[str] = set()
+        for view_col, (base, base_col) in columns.items():
+            base_info = self.tables.get(base)
+            if base_info is None:
+                continue
+            rows = max(rows, base_info.rows)
+            if base_col in base_info.indexed_columns:
+                indexed.add(view_col)
+        return TableInfo(
+            name=view, kind=TableKind.TRANSPARENT, is_view=True,
+            rows=rows, key_fields=(),
+            field_names=tuple(columns),
+            indexed_columns=frozenset(indexed),
+            view_columns=columns,
+        )
+
+    # -- lookups ----------------------------------------------------------
+
+    def lookup(self, name: str) -> TableInfo | None:
+        return self.tables.get(name.lower())
+
+    def kind_in_release(self, name: str, release: str | None) -> TableKind:
+        """Table kind as the given R/3 release sees it.
+
+        The 3.0 installation of the paper converts KONV to transparent
+        (Section 3.2); every other kind is release-independent.
+        """
+        info = self.lookup(name)
+        if info is None:
+            return TableKind.TRANSPARENT
+        if release == "3.0" and info.name == "konv":
+            return TableKind.TRANSPARENT
+        return info.kind
+
+    def has_index_on(self, table: str, column: str) -> bool:
+        info = self.lookup(table)
+        if info is None:
+            return False
+        return column.lower() in info.indexed_columns
+
+    def is_full_key(self, table: str, bound: set[str]) -> bool:
+        """Do the bound columns cover the table's full logical key?"""
+        info = self.lookup(table)
+        if info is None or not info.key_fields:
+            return True  # unknown/view: don't speculate
+        return all(key in bound for key in info.key_fields)
+
+
+# -- selectivity and cost -------------------------------------------------
+
+#: fallback iteration count when a loop's source is not a SELECT
+UNKNOWN_LOOP_ROWS = 100
+
+#: amortisation factor applied to memoised per-row probes (the cursor
+#: cache / wrapper memo turns N probes into ~N/10 distinct ones)
+MEMO_AMORTISATION = 0.1
+
+
+def predicate_selectivity(op: str, value_known: bool) -> float:
+    """Selectivity of a single sargable conjunct, System-R style.
+
+    ``value_known`` is False for host variables — parameter markers —
+    in which case the estimator falls back to the blind defaults that
+    make the Table 6 index plan look attractive.
+    """
+    if op == "=":
+        return DEFAULT_EQ_SELECTIVITY
+    if op in ("<", "<=", ">", ">=", "between"):
+        return DEFAULT_RANGE_SELECTIVITY
+    if op == "like":
+        return DEFAULT_LIKE_SELECTIVITY
+    if op == "in":
+        return min(1.0, 5 * DEFAULT_EQ_SELECTIVITY)
+    return 1.0
+
+
+def estimate_result_rows(info: TableInfo | None,
+                         conjuncts: list[tuple[str, str, bool]]) -> int:
+    """Rows a statement returns: table rows × conjunct selectivities.
+
+    ``conjuncts`` are (column, op, value_known) for the top-level
+    AND-connected predicates; key-equality collapses to one row.
+    """
+    if info is None:
+        return UNKNOWN_LOOP_ROWS
+    rows = float(info.rows)
+    bound_eq = {c for c, op, _known in conjuncts if op == "="}
+    if info.key_fields and all(k in bound_eq for k in info.key_fields):
+        return 1
+    for _column, op, value_known in conjuncts:
+        rows *= predicate_selectivity(op, value_known)
+    return max(1, int(rows))
+
+
+def severity_for_calls(est_calls: float) -> str:
+    """Map an estimated database-call count to a severity level."""
+    if est_calls >= 10_000:
+        return "error"
+    if est_calls >= 100:
+        return "warning"
+    return "info"
+
+
+def severity_for_rows(est_rows: float) -> str:
+    """Map an estimated scanned-row count to a severity level."""
+    if est_rows >= 500_000:
+        return "error"
+    if est_rows >= 20_000:
+        return "warning"
+    return "info"

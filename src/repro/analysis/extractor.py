@@ -1,0 +1,487 @@
+"""Call-site extraction from report sources via the Python ``ast``.
+
+The extractor reads report modules *as text* and finds every database
+access — ``open_sql.select`` / ``open_sql.select_single`` /
+``native_sql.exec_sql`` — together with the context the rules need:
+
+* the enclosing loop nesting (and, where the loop iterates a SELECT
+  result, a link to that statement so cardinalities compose),
+* memoization guards (``if key not in cache:`` / ``if x != self._x:``)
+  and module-local memo wrapper classes (``_VbakMemo`` and friends),
+* the embedded statement text, resolved through module-level string
+  constants and f-string concatenation, parsed with
+  :func:`repro.r3.opensql.parser.parse_open_sql`,
+* ABAP-side grouping idioms (``group_aggregate`` — the EXTRACT/SORT/
+  LOOP AT END figure) and :class:`~repro.reports.common.KonvLookup`
+  cluster probes.
+
+Nothing is imported or executed from the analyzed modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.r3.errors import OpenSqlError
+from repro.r3.opensql.ast import OSSelect
+from repro.r3.opensql.parser import parse_open_sql
+
+#: placeholder substituted for unresolvable f-string interpolations
+DYNAMIC_MARKER = "dynfld"
+
+_OPEN_SQL_METHODS = {"select", "select_single"}
+_NATIVE_SQL_METHODS = {"exec_sql"}
+_KONV_METHODS = {"conditions", "disc", "tax"}
+
+
+@dataclass
+class StatementSite:
+    """One database call site in a report source."""
+
+    path: str
+    module: str
+    line: int
+    func: str
+    api: str  # 'select' | 'select_single' | 'exec_sql'
+    sql: str | None
+    dynamic: bool
+    host_vars: tuple[str, ...]
+    loop_depth: int
+    memoized: bool
+    #: enclosing loops' data sources, outermost first (None = unknown)
+    outer: tuple["StatementSite | None", ...] = ()
+    var_name: str | None = None
+    stmt: OSSelect | None = None
+    parse_error: str | None = None
+
+
+@dataclass
+class IdiomSite:
+    """A non-SQL anti-pattern site: ABAP grouping or a memo wrapper."""
+
+    path: str
+    module: str
+    line: int
+    func: str
+    kind: str  # 'group_aggregate' | 'wrapper_call' | 'konv_lookup'
+    loop_depth: int
+    memoized: bool
+    outer: tuple["StatementSite | None", ...] = ()
+    source: StatementSite | None = None
+    simple_fold: bool = False
+    detail: str = ""
+
+
+@dataclass
+class ModuleAnalysis:
+    """Everything extracted from one report module."""
+
+    path: str
+    module: str
+    release: str | None  # '2.2' | '3.0' | None
+    sites: list[StatementSite] = field(default_factory=list)
+    idioms: list[IdiomSite] = field(default_factory=list)
+
+
+def infer_release(module: str) -> str | None:
+    """R/3 release a report family targets, from its module name."""
+    if "22" in module:
+        return "2.2"
+    if "30" in module or module in ("rdbms", "warehouse", "updatefuncs"):
+        return "3.0"
+    return None
+
+
+# -- string resolution -----------------------------------------------------
+
+
+def _resolve_str(node: ast.expr,
+                 env: dict[str, str]) -> tuple[str | None, bool]:
+    """Resolve an expression to SQL text: (text, had_dynamic_parts).
+
+    Module-level constants and concatenation resolve exactly;
+    f-string interpolations become :data:`DYNAMIC_MARKER`; anything
+    else (calls, attributes) makes the whole text unresolvable.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id], False
+        return None, True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left, left_dyn = _resolve_str(node.left, env)
+        right, right_dyn = _resolve_str(node.right, env)
+        if left is None or right is None:
+            return None, True
+        return left + right, left_dyn or right_dyn
+    if isinstance(node, ast.JoinedStr):
+        parts: list[str] = []
+        dynamic = False
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            elif isinstance(value, ast.FormattedValue):
+                text, _dyn = _resolve_str(value.value, env)
+                if text is not None:
+                    parts.append(text)
+                else:
+                    parts.append(DYNAMIC_MARKER)
+                dynamic = True
+            else:
+                return None, True
+        return "".join(parts), dynamic
+    return None, True
+
+
+def _module_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = <string expression>`` bindings, in order."""
+    env: dict[str, str] = {}
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        text, dynamic = _resolve_str(stmt.value, env)
+        if text is not None and not dynamic:
+            env[target.id] = text
+    return env
+
+
+# -- per-function scan ------------------------------------------------------
+
+
+def _is_memo_guard(test: ast.expr) -> bool:
+    """``if key not in cache:`` / ``if key != self._key:`` shapes."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.NotIn, ast.NotEq)) for op in node.ops
+        ):
+            return True
+    return False
+
+
+def _call_method(node: ast.Call) -> tuple[str | None, str | None]:
+    """(object chain tail, method) for ``x.y.method(...)`` calls."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None, None
+    method = func.attr
+    base = func.value
+    if isinstance(base, ast.Attribute):
+        return base.attr, method
+    if isinstance(base, ast.Name):
+        return base.id, method
+    return None, method
+
+
+def _simple_fold(fold: ast.expr | ast.FunctionDef | None) -> bool:
+    """Does a fold only compute pushable aggregates?
+
+    Pushable means plain ``len(group)`` plus ``sum``/``min``/``max``
+    over a bare subscript of the group row — no arithmetic inside the
+    aggregate and no filtering ``if`` in the comprehension (paper
+    Section 4.2: 3.0 Open SQL takes simple aggregates only).
+    """
+    if fold is None:
+        return False
+    body: ast.AST
+    if isinstance(fold, ast.Lambda):
+        body = fold.body
+    elif isinstance(fold, ast.FunctionDef):
+        body = fold
+    else:
+        return False
+    saw_aggregate = False
+    for node in ast.walk(body):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Name):
+            return False  # method/helper call inside the fold
+        if func.id == "len":
+            saw_aggregate = True
+            continue
+        if func.id not in ("sum", "min", "max"):
+            return False
+        if not node.args or not isinstance(node.args[0], ast.GeneratorExp):
+            return False
+        gen = node.args[0]
+        if any(comp.ifs for comp in gen.generators):
+            return False
+        if not isinstance(gen.elt, ast.Subscript):
+            return False
+        saw_aggregate = True
+    return saw_aggregate
+
+
+class _ModuleContext:
+    def __init__(self, path: Path, module: str, tree: ast.Module) -> None:
+        self.path = str(path)
+        self.module = module
+        self.env = _module_constants(tree)
+        #: class name -> (first wrapped site, memoized?)
+        self.wrapper_classes: dict[str, tuple[StatementSite, bool]] = {}
+
+
+class _FunctionScanner:
+    """One pass over a function body, tracking loop and memo context."""
+
+    def __init__(self, ctx: _ModuleContext, qualname: str,
+                 node: ast.FunctionDef) -> None:
+        self.ctx = ctx
+        self.func = qualname
+        self.node = node
+        self.sites: list[StatementSite] = []
+        self.idioms: list[IdiomSite] = []
+        self._select_vars: dict[str, StatementSite] = {}
+        self._wrapper_vars: dict[str, str] = {}  # var -> kind marker
+        self._local_funcs: dict[str, ast.FunctionDef] = {}
+        self._call_sites: dict[int, StatementSite] = {}  # id(Call) -> site
+
+    def run(self) -> None:
+        for sub in ast.walk(self.node):
+            if isinstance(sub, ast.FunctionDef) and sub is not self.node:
+                self._local_funcs[sub.name] = sub
+        self._scan_stmts(self.node.body, (), False)
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _scan_stmts(self, body: list[ast.stmt],
+                    loops: tuple[StatementSite | None, ...],
+                    memo: bool) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, loops, memo)
+
+    def _scan_stmt(self, stmt: ast.stmt,
+                   loops: tuple[StatementSite | None, ...],
+                   memo: bool) -> None:
+        if isinstance(stmt, ast.For):
+            self._scan_expr(stmt.iter, loops, memo)
+            source = self._loop_source(stmt.iter)
+            self._scan_stmts(stmt.body, loops + (source,), memo)
+            self._scan_stmts(stmt.orelse, loops, memo)
+        elif isinstance(stmt, ast.While):
+            self._scan_expr(stmt.test, loops, memo)
+            self._scan_stmts(stmt.body, loops + (None,), memo)
+            self._scan_stmts(stmt.orelse, loops, memo)
+        elif isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, loops, memo)
+            self._scan_stmts(stmt.body, loops,
+                             memo or _is_memo_guard(stmt.test))
+            self._scan_stmts(stmt.orelse, loops, memo)
+        elif isinstance(stmt, (ast.With, ast.Try)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, loops, memo)
+            for name in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, name, [])
+                for child in children:
+                    if isinstance(child, ast.ExceptHandler):
+                        self._scan_stmts(child.body, loops, memo)
+                    elif isinstance(child, ast.stmt):
+                        self._scan_stmt(child, loops, memo)
+        elif isinstance(stmt, ast.FunctionDef):
+            # Nested defs (fold functions) run in the same dynamic
+            # context they are called from; scan them in place.
+            self._scan_stmts(stmt.body, loops, memo)
+        elif isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, loops, memo)
+            self._bind_assignment(stmt)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, loops, memo)
+
+    def _bind_assignment(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0],
+                                                    ast.Name):
+            return
+        name = stmt.targets[0].id
+        value = stmt.value
+        if isinstance(value, ast.Call):
+            site = self._call_sites.get(id(value))
+            if site is not None:
+                site.var_name = name
+                self._select_vars[name] = site
+                return
+            if isinstance(value.func, ast.Name):
+                cls = value.func.id
+                if cls == "KonvLookup":
+                    self._wrapper_vars[name] = "konv_lookup"
+                elif cls in self.ctx.wrapper_classes:
+                    self._wrapper_vars[name] = cls
+
+    # -- expression scan ---------------------------------------------------
+
+    def _scan_expr(self, node: ast.expr,
+                   loops: tuple[StatementSite | None, ...],
+                   memo: bool) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._handle_call(sub, loops, memo)
+
+    def _handle_call(self, call: ast.Call,
+                     loops: tuple[StatementSite | None, ...],
+                     memo: bool) -> None:
+        base, method = _call_method(call)
+        if base == "open_sql" and method in _OPEN_SQL_METHODS:
+            self._add_statement(call, method, loops, memo)
+            return
+        if base == "native_sql" and method in _NATIVE_SQL_METHODS:
+            self._add_statement(call, "exec_sql", loops, memo)
+            return
+        func = call.func
+        if (isinstance(func, ast.Name) and func.id == "group_aggregate") \
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "group_aggregate"):
+            self._add_group_aggregate(call, loops, memo)
+            return
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name):
+            kind = self._wrapper_vars.get(func.value.id)
+            if kind == "konv_lookup" and func.attr in _KONV_METHODS:
+                self.idioms.append(IdiomSite(
+                    path=self.ctx.path, module=self.ctx.module,
+                    line=call.lineno, func=self.func, kind="konv_lookup",
+                    loop_depth=len(loops), memoized=True, outer=loops,
+                    detail=f"KonvLookup.{func.attr}",
+                ))
+            elif kind is not None and kind != "konv_lookup":
+                source, wrapped_memo = self.ctx.wrapper_classes[kind]
+                self.idioms.append(IdiomSite(
+                    path=self.ctx.path, module=self.ctx.module,
+                    line=call.lineno, func=self.func, kind="wrapper_call",
+                    loop_depth=len(loops), memoized=wrapped_memo,
+                    outer=loops, source=source,
+                    detail=f"{kind}.{func.attr}",
+                ))
+
+    def _add_statement(self, call: ast.Call, api: str,
+                       loops: tuple[StatementSite | None, ...],
+                       memo: bool) -> None:
+        sql: str | None = None
+        dynamic = False
+        if call.args:
+            sql, dynamic = _resolve_str(call.args[0], self.ctx.env)
+        host_vars: tuple[str, ...] = ()
+        if len(call.args) > 1 and isinstance(call.args[1], ast.Dict):
+            host_vars = tuple(
+                str(key.value) for key in call.args[1].keys
+                if isinstance(key, ast.Constant)
+            )
+        site = StatementSite(
+            path=self.ctx.path, module=self.ctx.module, line=call.lineno,
+            func=self.func, api=api, sql=sql, dynamic=dynamic,
+            host_vars=host_vars, loop_depth=len(loops), memoized=memo,
+            outer=loops,
+        )
+        if api != "exec_sql" and sql is not None:
+            try:
+                site.stmt = parse_open_sql(sql)
+            except OpenSqlError as exc:
+                site.parse_error = str(exc)
+        self.sites.append(site)
+        self._call_sites[id(call)] = site
+
+    def _add_group_aggregate(self, call: ast.Call,
+                             loops: tuple[StatementSite | None, ...],
+                             memo: bool) -> None:
+        source = None
+        if len(call.args) > 1:
+            source = self._rows_source(call.args[1])
+        fold: ast.expr | ast.FunctionDef | None = None
+        if len(call.args) > 3:
+            fold_arg = call.args[3]
+            if isinstance(fold_arg, ast.Lambda):
+                fold = fold_arg
+            elif isinstance(fold_arg, ast.Name):
+                fold = self._local_funcs.get(fold_arg.id)
+        self.idioms.append(IdiomSite(
+            path=self.ctx.path, module=self.ctx.module, line=call.lineno,
+            func=self.func, kind="group_aggregate", loop_depth=len(loops),
+            memoized=memo, outer=loops, source=source,
+            simple_fold=_simple_fold(fold),
+            detail="EXTRACT/SORT/LOOP AT END grouping",
+        ))
+
+    # -- data-flow helpers -------------------------------------------------
+
+    def _rows_source(self, node: ast.expr) -> StatementSite | None:
+        """Which SELECT produced this expression's rows, if knowable."""
+        if isinstance(node, ast.Attribute) and node.attr == "rows":
+            return self._rows_source(node.value)
+        if isinstance(node, ast.Call):
+            direct = self._call_sites.get(id(node))
+            if direct is not None:
+                return direct
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("loop", "read_binary_all"):
+                return None
+        if isinstance(node, ast.Name):
+            return self._select_vars.get(node.id)
+        return None
+
+    def _loop_source(self, iter_expr: ast.expr) -> StatementSite | None:
+        return self._rows_source(iter_expr)
+
+
+# -- module / path drivers --------------------------------------------------
+
+
+def analyze_module(path: str | Path) -> ModuleAnalysis:
+    """Extract every call site and idiom from one source file."""
+    path = Path(path)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    module = path.stem
+    ctx = _ModuleContext(path, module, tree)
+    analysis = ModuleAnalysis(
+        path=str(path), module=module, release=infer_release(module),
+    )
+
+    # First pass: memo wrapper classes (their methods hold the SELECT).
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.ClassDef):
+            continue
+        wrapped: list[StatementSite] = []
+        memoized = False
+        for method in stmt.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            scanner = _FunctionScanner(
+                ctx, f"{stmt.name}.{method.name}", method
+            )
+            scanner.run()
+            wrapped.extend(scanner.sites)
+            memoized = memoized or any(s.memoized for s in scanner.sites)
+            analysis.sites.extend(scanner.sites)
+            analysis.idioms.extend(scanner.idioms)
+        if wrapped:
+            ctx.wrapper_classes[stmt.name] = (wrapped[0], memoized)
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            scanner = _FunctionScanner(ctx, stmt.name, stmt)
+            scanner.run()
+            analysis.sites.extend(scanner.sites)
+            analysis.idioms.extend(scanner.idioms)
+    return analysis
+
+
+def analyze_paths(paths: Iterable[str | Path]) -> list[ModuleAnalysis]:
+    """Analyze files and directories (``*.py``, sorted, no dunders)."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(
+                p for p in entry.rglob("*.py")
+                if not p.name.startswith("__")
+            ))
+        else:
+            files.append(entry)
+    return [analyze_module(path) for path in files]

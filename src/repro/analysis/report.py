@@ -1,0 +1,90 @@
+"""Rendering of analyzer findings: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.rules import RULES, RULES_BY_ID, Finding
+
+_SEVERITY_ORDER = ("error", "warning", "info")
+
+
+def _short_path(path: str) -> str:
+    """Repo-relative path when possible, for stable readable output."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        index = parts.index("repro")
+        return str(Path(*parts[index - 1 if index else 0:]))
+    return path
+
+
+def render_text(findings: list[Finding]) -> str:
+    lines: list[str] = []
+    for finding in findings:
+        tag = " [baselined]" if finding.baselined else ""
+        lines.append(
+            f"{_short_path(finding.path)}:{finding.line}: "
+            f"{finding.rule} {finding.severity}{tag} {finding.func}: "
+            f"{finding.message} [paper: {finding.paper}]"
+        )
+    lines.append("")
+    lines.extend(render_summary(findings))
+    return "\n".join(lines)
+
+
+def render_summary(findings: list[Finding]) -> list[str]:
+    lines = ["rule  new  baselined  title"]
+    for rule in RULES:
+        matching = [f for f in findings if f.rule == rule.id]
+        if not matching:
+            continue
+        fresh = sum(1 for f in matching if not f.baselined)
+        lines.append(
+            f"{rule.id}  {fresh:3d}  {len(matching) - fresh:9d}  "
+            f"{rule.title}"
+        )
+    total_fresh = sum(1 for f in findings if not f.baselined)
+    by_severity = {
+        severity: sum(1 for f in findings if f.severity == severity)
+        for severity in _SEVERITY_ORDER
+    }
+    severity_note = ", ".join(
+        f"{count} {name}" for name, count in by_severity.items() if count
+    )
+    lines.append(
+        f"{len(findings)} finding(s) ({severity_note or 'none'}); "
+        f"{total_fresh} new, "
+        f"{len(findings) - total_fresh} baselined"
+    )
+    return lines
+
+
+def render_json(findings: list[Finding]) -> str:
+    payload = {
+        "rules": [
+            {"id": rule.id, "title": rule.title, "paper": rule.paper}
+            for rule in RULES
+        ],
+        "findings": [
+            {**f.as_dict(), "path": _short_path(f.path)}
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "new": sum(1 for f in findings if not f.baselined),
+            "baselined": sum(1 for f in findings if f.baselined),
+            "by_rule": {
+                rule_id: sum(1 for f in findings if f.rule == rule_id)
+                for rule_id in RULES_BY_ID
+                if any(f.rule == rule_id for f in findings)
+            },
+            "by_severity": {
+                severity: sum(
+                    1 for f in findings if f.severity == severity
+                )
+                for severity in _SEVERITY_ORDER
+            },
+        },
+    }
+    return json.dumps(payload, indent=2)

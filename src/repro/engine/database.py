@@ -23,7 +23,7 @@ from typing import Iterable, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.buffer import BufferPool
-from repro.engine.errors import CatalogError, PlanError
+from repro.engine.errors import PlanError
 from repro.engine.exec.base import ExecContext
 from repro.engine.expr import Expr, OutputSchema, predicate_holds
 from repro.engine.plan.binder import bind_expr

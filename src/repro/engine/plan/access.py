@@ -22,7 +22,6 @@ from repro.engine.expr import (
     ColumnRef,
     Expr,
     LikeExpr,
-    Literal,
     ParamRef,
     SubqueryExpr,
     conjoin,

@@ -19,7 +19,6 @@ from repro.engine.expr import like_to_regex
 from repro.r3.ddic import DDicTable, TableKind
 from repro.r3.errors import OpenSqlError
 from repro.r3.opensql.ast import (
-    OSAgg,
     OSBetween,
     OSBool,
     OSComp,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from repro.r3.abap import InternalTable, group_aggregate
 from repro.r3.appserver import R3System
-from repro.reports import common as cm
 from repro.reports import native30
 from repro.reports.common import KeyCodec, KonvLookup
 from repro.reports.native30 import _J_VBAK, _J_VBEP, _m

@@ -26,7 +26,7 @@ from repro.sapschema.mapping import KeyCodec
 from repro.sim.params import SimParams
 from repro.tpcd.queries import build_queries, run_query
 from repro.tpcd.schema import create_original_schema
-from repro.warehouse.extract import extract_all, extract_lineitem
+from repro.warehouse.extract import extract_all
 
 
 def _i(text: str) -> int:

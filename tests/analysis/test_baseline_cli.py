@@ -1,0 +1,104 @@
+"""Baseline semantics and the ``python -m repro lint`` entry point."""
+
+import json
+import textwrap
+
+from repro.__main__ import main
+from repro.analysis.baseline import Baseline, default_baseline_path
+from repro.analysis.cli import run_lint
+
+LOOPING = """
+    def q(r3):
+        for infnr, in r3.open_sql.select(
+                "SELECT infnr FROM eina").rows:
+            r3.open_sql.select_single(
+                "SELECT SINGLE netpr FROM eine WHERE infnr = :i",
+                {"i": infnr})
+"""
+
+CLEAN = """
+    def q(r3):
+        return r3.open_sql.select(
+            "SELECT name1 FROM kna1 WHERE land1 = 'DE'")
+"""
+
+
+def _write(tmp_path, source, name="open22_case.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def test_exit_one_on_new_findings(tmp_path):
+    path = _write(tmp_path, LOOPING)
+    out = []
+    status = run_lint([path], use_baseline=False, emit=out.append)
+    assert status == 1
+    assert "R001" in out[0]
+
+
+def test_exit_zero_when_clean(tmp_path):
+    path = _write(tmp_path, CLEAN)
+    status = run_lint([path], use_baseline=False, emit=lambda _s: None)
+    assert status == 0
+
+
+def test_baseline_suppresses_but_counts(tmp_path):
+    path = _write(tmp_path, LOOPING)
+    baseline_file = tmp_path / "baseline.json"
+    out = []
+    assert run_lint([path], baseline_path=baseline_file,
+                    write_baseline=True, emit=out.append) == 0
+    assert baseline_file.exists()
+
+    out = []
+    status = run_lint([path], output_format="json",
+                      baseline_path=baseline_file, emit=out.append)
+    assert status == 0
+    payload = json.loads(out[0])
+    assert payload["summary"]["new"] == 0
+    assert payload["summary"]["baselined"] == payload["summary"]["total"]
+    assert payload["summary"]["total"] > 0
+    assert all(f["baselined"] for f in payload["findings"])
+
+
+def test_new_finding_breaks_through_baseline(tmp_path):
+    path = _write(tmp_path, LOOPING)
+    baseline_file = tmp_path / "baseline.json"
+    run_lint([path], baseline_path=baseline_file, write_baseline=True,
+             emit=lambda _s: None)
+    # A second, previously unseen anti-pattern appears in the module.
+    path.write_text(path.read_text() + textwrap.dedent("""
+        def q_new(r3):
+            return r3.open_sql.select("SELECT * FROM vbak")
+    """))
+    out = []
+    status = run_lint([path], output_format="json",
+                      baseline_path=baseline_file, emit=out.append)
+    assert status == 1
+    payload = json.loads(out[0])
+    fresh = [f for f in payload["findings"] if not f["baselined"]]
+    assert {f["func"] for f in fresh} == {"q_new"}
+
+
+def test_baseline_roundtrip(tmp_path):
+    baseline = Baseline({"R001:m:f:abc": "note"})
+    target = tmp_path / "b.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    assert Baseline.load(tmp_path / "missing.json").entries == {}
+
+
+def test_cli_main_lint_with_committed_baseline():
+    # The repo gate: default paths + committed baseline must be green.
+    assert default_baseline_path().exists()
+    assert main(["lint"]) == 0
+
+
+def test_cli_main_lint_json_no_baseline_fails(tmp_path, capsys):
+    path = _write(tmp_path, LOOPING)
+    status = main(["lint", str(path), "--format=json", "--no-baseline"])
+    assert status == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["new"] == payload["summary"]["total"]

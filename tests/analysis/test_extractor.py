@@ -1,0 +1,177 @@
+"""Extractor unit tests over small synthetic report modules."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.extractor import analyze_module, infer_release
+
+
+@pytest.fixture()
+def analyze(tmp_path):
+    def run(source: str, name: str = "open22_sample.py"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return analyze_module(path)
+
+    return run
+
+
+def test_toplevel_select_site(analyze):
+    analysis = analyze("""
+        def q(r3):
+            rows = r3.open_sql.select(
+                "SELECT matnr FROM mara WHERE mtart = :t", {"t": "X"})
+            return rows
+    """)
+    (site,) = analysis.sites
+    assert site.api == "select"
+    assert site.loop_depth == 0
+    assert not site.memoized
+    assert site.host_vars == ("t",)
+    assert site.var_name == "rows"
+    assert site.stmt is not None and site.stmt.table == "mara"
+
+
+def test_loop_depth_and_source_tracking(analyze):
+    analysis = analyze("""
+        def q(r3):
+            orders = r3.open_sql.select("SELECT vbeln FROM vbak")
+            for vbeln, in orders.rows:
+                for row in r3.open_sql.select(
+                        "SELECT posnr FROM vbap WHERE vbeln = :v",
+                        {"v": vbeln}).rows:
+                    inner = r3.open_sql.select_single(
+                        "SELECT SINGLE netpr FROM eine "
+                        "WHERE infnr = :i", {"i": row})
+    """)
+    by_table = {s.stmt.table: s for s in analysis.sites}
+    assert by_table["vbak"].loop_depth == 0
+    # The vbap select is the second loop's own fetch: it runs once per
+    # vbak row, i.e. at depth 1, sourced from the vbak statement.
+    assert by_table["vbap"].loop_depth == 1
+    assert by_table["vbap"].outer[0] is by_table["vbak"]
+    assert by_table["eine"].loop_depth == 2
+    assert by_table["eine"].outer[1] is by_table["vbap"]
+
+
+def test_memo_guard_detected(analyze):
+    analysis = analyze("""
+        def q(r3):
+            cache = {}
+            for key in work:
+                if key not in cache:
+                    cache[key] = r3.open_sql.select_single(
+                        "SELECT SINGLE name1 FROM lfa1 "
+                        "WHERE lifnr = :k", {"k": key})
+                plain = r3.open_sql.select_single(
+                    "SELECT SINGLE land1 FROM kna1 "
+                    "WHERE kunnr = :k", {"k": key})
+    """)
+    by_table = {s.stmt.table: s for s in analysis.sites}
+    assert by_table["lfa1"].memoized
+    assert not by_table["kna1"].memoized
+
+
+def test_module_constant_and_fstring_resolution(analyze):
+    analysis = analyze("""
+        _JOIN = ("FROM vbap AS p "
+                 "INNER JOIN vbep AS e ON e~vbeln = p~vbeln")
+
+        class _Memo:
+            def get(self, vbeln):
+                if vbeln != self._vbeln:
+                    self._row = self._r3.open_sql.select_single(
+                        f"SELECT SINGLE {self._fields} FROM vbak "
+                        f"WHERE vbeln = :v", {"v": vbeln})
+                return self._row
+
+        def q(r3):
+            return r3.open_sql.select(
+                "SELECT p~posnr " + _JOIN + " WHERE e~edatu <= :d",
+                {"d": None})
+    """)
+    memo_site = next(s for s in analysis.sites if s.func == "_Memo.get")
+    assert memo_site.dynamic
+    assert memo_site.memoized
+    assert memo_site.stmt is not None  # dynfld placeholder still parses
+    assert memo_site.stmt.table == "vbak"
+    join_site = next(s for s in analysis.sites if s.func == "q")
+    assert not join_site.dynamic
+    assert join_site.stmt.has_joins
+    assert join_site.stmt.joins[0].table == "vbep"
+
+
+def test_wrapper_call_idiom(analyze):
+    analysis = analyze("""
+        class _Memo:
+            def get(self, key):
+                if key != self._key:
+                    self._row = self._r3.open_sql.select_single(
+                        "SELECT SINGLE knumv FROM vbak "
+                        "WHERE vbeln = :v", {"v": key})
+                return self._row
+
+        def q(r3):
+            memo = _Memo()
+            for key in work:
+                memo.get(key)
+    """)
+    (idiom,) = [i for i in analysis.idioms if i.kind == "wrapper_call"]
+    assert idiom.loop_depth == 1
+    assert idiom.memoized
+    assert idiom.source is not None and idiom.source.stmt.table == "vbak"
+
+
+def test_konv_lookup_idiom(analyze):
+    analysis = analyze("""
+        from repro.reports.common import KonvLookup
+
+        def q(r3):
+            konv = KonvLookup(r3)
+            for row in rows:
+                konv.disc(row, 1)
+    """)
+    (idiom,) = [i for i in analysis.idioms if i.kind == "konv_lookup"]
+    assert idiom.loop_depth == 1
+    assert idiom.detail == "KonvLookup.disc"
+
+
+def test_group_aggregate_fold_classification(analyze):
+    analysis = analyze("""
+        def q_simple(r3):
+            rows = r3.open_sql.select("SELECT prior netwr FROM vbak")
+            return group_aggregate(
+                r3, rows.rows, lambda g: (g[0],),
+                lambda key, group: key + (len(group),
+                                          sum(g[1] for g in group)))
+
+        def q_arith(r3):
+            rows = r3.open_sql.select("SELECT prior netwr FROM vbak")
+            return group_aggregate(
+                r3, rows.rows, lambda g: (g[0],),
+                lambda key, group: key + (
+                    sum(g[1] * 2 for g in group),))
+    """)
+    idioms = {i.func: i for i in analysis.idioms}
+    assert idioms["q_simple"].simple_fold
+    assert idioms["q_simple"].source is not None
+    assert not idioms["q_arith"].simple_fold
+
+
+def test_parse_error_recorded(analyze):
+    analysis = analyze("""
+        def q(r3):
+            return r3.open_sql.select("SELECT FROM mara")
+    """)
+    (site,) = analysis.sites
+    assert site.stmt is None
+    assert site.parse_error
+
+
+def test_release_inference():
+    assert infer_release("open22") == "2.2"
+    assert infer_release("native22") == "2.2"
+    assert infer_release("open30") == "3.0"
+    assert infer_release("rdbms") == "3.0"
+    assert infer_release("common") is None

@@ -19,7 +19,7 @@ class TestParser:
 
         assert set(COMMANDS) == {
             "power", "dbsize", "loading", "plan-trap", "aggregation",
-            "caching", "warehouse", "eis",
+            "caching", "warehouse", "eis", "lint",
         }
 
 

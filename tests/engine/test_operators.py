@@ -18,7 +18,6 @@ from repro.engine.expr import (
     AggCall,
     BinOp,
     ColumnRef,
-    InputRef,
     Literal,
     OutputSchema,
 )

@@ -11,7 +11,6 @@ from repro.engine.expr import (
     ColumnRef,
     InListExpr,
     LikeExpr,
-    Literal,
     ParamRef,
     SubqueryExpr,
 )
@@ -21,7 +20,6 @@ from repro.engine.sql.ast import (
     JoinRef,
     SelectStmt,
     Star,
-    TableRef,
     UpdateStmt,
 )
 from repro.engine.sql.lexer import TokenKind, tokenize

@@ -1,0 +1,160 @@
+"""Error-path coverage for the Open SQL parser and translator.
+
+The static analyzer (``repro.analysis``) leans on the parser rejecting
+malformed statements with a clean :class:`OpenSqlError` — a crash or a
+silent mis-parse here would turn into a bogus or missing finding.
+"""
+
+import pytest
+
+from repro.engine.types import SqlType
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.ddic import DDicField, DDicTable, TableKind
+from repro.r3.errors import OpenSqlError
+from repro.r3.opensql.parser import parse_open_sql
+from repro.r3.opensql.translate import translate
+
+
+def parse_error(text: str) -> str:
+    with pytest.raises(OpenSqlError) as excinfo:
+        parse_open_sql(text)
+    return str(excinfo.value)
+
+
+# -- malformed field lists -------------------------------------------------
+
+
+def test_empty_select_list():
+    assert "empty select list" in parse_error("SELECT FROM mara")
+
+
+def test_comma_in_field_list_is_not_open_sql():
+    # ABAP field lists are space-separated; a comma is a bad token at
+    # select-list level and must not silently parse as two fields.
+    assert "empty select list" in parse_error(
+        "SELECT , FROM mara")
+
+
+def test_dangling_tilde_qualifier():
+    with pytest.raises(OpenSqlError):
+        parse_open_sql("SELECT p~ FROM vbap AS p")
+
+
+def test_star_mixed_with_fields_rejected():
+    assert "expected FROM" in parse_error("SELECT * matnr FROM mara")
+
+
+def test_missing_from():
+    assert "expected FROM" in parse_error("SELECT matnr mara")
+
+
+# -- illegal aggregate arguments -------------------------------------------
+
+
+def test_sum_star_rejected():
+    assert "SUM(*) is not Open SQL" in parse_error(
+        "SELECT SUM( * ) FROM vbak")
+
+
+@pytest.mark.parametrize("agg", ["AVG", "MIN", "MAX"])
+def test_star_only_counts(agg):
+    assert f"{agg}(*) is not Open SQL" in parse_error(
+        f"SELECT {agg}( * ) FROM vbak")
+
+
+def test_aggregate_requires_parenthesis():
+    assert "expected ( after SUM" in parse_error(
+        "SELECT SUM netwr FROM vbak")
+
+
+def test_aggregate_rejects_arithmetic_argument():
+    # No expressions inside aggregates — the 2.2/3.0 grammar gap the
+    # paper's Section 4.2 is about.
+    assert "expected ) in aggregate" in parse_error(
+        "SELECT SUM( netwr * 2 ) FROM vbak")
+
+
+def test_aggregate_unclosed():
+    assert "expected ) in aggregate" in parse_error(
+        "SELECT SUM( netwr FROM vbak")
+
+
+# -- predicates and joins --------------------------------------------------
+
+
+def test_predicate_without_comparison():
+    assert "expected a predicate after matnr" in parse_error(
+        "SELECT matnr FROM mara WHERE matnr")
+
+
+def test_in_list_requires_parens():
+    assert "expected ( after IN" in parse_error(
+        "SELECT matnr FROM mara WHERE mtart IN 'A', 'B'")
+
+
+def test_unclosed_in_list():
+    assert "expected ) after IN list" in parse_error(
+        "SELECT matnr FROM mara WHERE mtart IN ( 'A', 'B'")
+
+
+def test_join_on_requires_comparison():
+    assert "expected comparison in ON" in parse_error(
+        "SELECT p~matnr FROM vbap AS p "
+        "INNER JOIN mara AS m ON m~matnr")
+
+
+def test_up_to_requires_count():
+    assert "expected a row count after UP TO" in parse_error(
+        "SELECT matnr FROM mara UP TO many ROWS")
+
+
+def test_bad_token_reported():
+    assert "bad Open SQL token" in parse_error(
+        "SELECT matnr FROM mara WHERE matnr = ;")
+
+
+def test_trailing_input_rejected():
+    assert "trailing Open SQL input" in parse_error(
+        "SELECT matnr FROM mara HAVING matnr")
+
+
+# -- unknown host variables ------------------------------------------------
+
+
+@pytest.fixture()
+def r3():
+    system = R3System(R3Version.V30)
+    system.activate_table(DDicTable("mara", TableKind.TRANSPARENT, [
+        DDicField("matnr", SqlType.char(18), key=True),
+        DDicField("mtart", SqlType.char(25)),
+    ]))
+    system.insert_logical("mara", ("M001", "TYPE0"))
+    return system
+
+
+def test_unbound_host_variable_in_translate():
+    stmt = parse_open_sql("SELECT matnr FROM mara WHERE mtart = :kind")
+    translation = translate(stmt, lambda _t: ["matnr", "mtart"],
+                            lambda _t: True)
+    with pytest.raises(OpenSqlError, match="unbound host variable :kind"):
+        translation.bind("000", {})
+
+
+def test_unbound_host_variable_at_execution(r3):
+    with pytest.raises(OpenSqlError, match="unbound host variable"):
+        r3.open_sql.select(
+            "SELECT matnr FROM mara WHERE mtart = :kind", {})
+
+
+def test_misnamed_host_variable_at_execution(r3):
+    with pytest.raises(OpenSqlError, match="unbound host variable :kind"):
+        r3.open_sql.select(
+            "SELECT matnr FROM mara WHERE mtart = :kind",
+            {"kinds": "TYPE0"})
+
+
+def test_bound_host_variable_succeeds(r3):
+    result = r3.open_sql.select(
+        "SELECT matnr FROM mara WHERE mtart = :kind",
+        {"kind": "TYPE0"})
+    assert list(result.rows) == [("M001",)]

@@ -1,4 +1,3 @@
-import datetime
 
 import pytest
 from hypothesis import given, settings, strategies as st
