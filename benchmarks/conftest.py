@@ -9,7 +9,9 @@ the simulated times reproduce the paper.
 
 from __future__ import annotations
 
+import json
 import os
+import re
 
 import pytest
 
@@ -44,3 +46,58 @@ def r3_22(data):
 @pytest.fixture(scope="session")
 def r3_30(data):
     return build_sap_system(data, R3Version.V30)
+
+
+# -- machine-readable results -------------------------------------------------
+
+_STAT_FIELDS = ("min", "max", "mean", "stddev", "median", "iqr",
+                "rounds", "iterations", "ops", "total")
+
+
+def _stats_dict(stats) -> dict:
+    as_dict = getattr(stats, "as_dict", None)
+    if callable(as_dict):
+        try:
+            return {k: v for k, v in as_dict().items()
+                    if isinstance(v, (int, float))}
+        except Exception:
+            pass
+    out = {}
+    for name in _STAT_FIELDS:
+        value = getattr(stats, name, None)
+        if isinstance(value, (int, float)):
+            out[name] = value
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump each benchmark's results to ``BENCH_<name>.json``.
+
+    The files feed ``python -m repro bench-diff a.json b.json`` and the
+    CI artifact upload; ``REPRO_BENCH_DIR`` overrides the target
+    directory (default: current working directory).  Failures here must
+    never fail the bench run itself.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    for bench in bench_session.benchmarks:
+        try:
+            name = re.sub(r"[^A-Za-z0-9_.-]+", "_",
+                          getattr(bench, "name", "unnamed"))
+            record = {
+                "name": getattr(bench, "name", None),
+                "fullname": getattr(bench, "fullname", None),
+                "group": getattr(bench, "group", None),
+                "params": getattr(bench, "params", None),
+                "extra_info": dict(getattr(bench, "extra_info", {}) or {}),
+                "stats": _stats_dict(getattr(bench, "stats", None)),
+            }
+            path = os.path.join(out_dir, f"BENCH_{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, default=str)
+                handle.write("\n")
+        except Exception as exc:  # noqa: BLE001 - reporting must not fail runs
+            print(f"benchmark result dump failed for "
+                  f"{getattr(bench, 'name', '?')}: {exc}")

@@ -11,9 +11,18 @@ Runs any of the paper's experiments from the shell:
     python -m repro warehouse
     python -m repro eis
 
-and the static analyzer over the report sources:
+the tracer over the power test:
+
+    python -m repro trace power --release 2.2 --sf 0.002 --format=text
+    python -m repro trace power --format=chrome --trace-out trace.json
+
+the static analyzer over the report sources:
 
     python -m repro lint --format=json
+
+and the benchmark-result differ:
+
+    python -m repro bench-diff BENCH_old.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -120,12 +129,34 @@ def cmd_eis(args) -> None:
 def cmd_lint(args) -> int:
     from repro.analysis.cli import run_lint_command
 
+    if args.format == "chrome":
+        print("lint: --format=chrome is only valid for 'trace'",
+              file=sys.stderr)
+        return 2
     return run_lint_command(args)
+
+
+def cmd_trace(args) -> int:
+    from repro.trace.cli import run_trace_command
+
+    return run_trace_command(args)
+
+
+def cmd_bench_diff(args) -> int:
+    from repro.core.benchdiff import run_bench_diff
+
+    if args.format == "chrome":
+        print("bench-diff: --format=chrome is only valid for 'trace'",
+              file=sys.stderr)
+        return 2
+    return run_bench_diff(args)
 
 
 COMMANDS = {
     "power": cmd_power,
+    "trace": cmd_trace,
     "lint": cmd_lint,
+    "bench-diff": cmd_bench_diff,
     "dbsize": cmd_dbsize,
     "loading": cmd_loading,
     "plan-trap": cmd_plan_trap,
@@ -148,12 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
                         default="3.0", help="R/3 release (power test)")
     parser.add_argument("--no-updates", action="store_true",
                         help="skip UF1/UF2 in the power test")
+    trace = parser.add_argument_group("trace")
+    trace.add_argument("--top", type=int, default=10,
+                       help="operators in the hot-operator table "
+                            "(default 10)")
+    trace.add_argument("--trace-out", default=None,
+                       help="write the json/chrome trace to this file "
+                            "instead of stdout")
     lint = parser.add_argument_group("lint")
     lint.add_argument("paths", nargs="*",
-                      help="files/directories to lint "
-                           "(default: repro.reports)")
-    lint.add_argument("--format", choices=["text", "json"],
-                      default="text", help="lint output format")
+                      help="experiment to trace (default: power), "
+                           "files/directories to lint, or the two "
+                           "bench-diff inputs")
+    lint.add_argument("--format", choices=["text", "json", "chrome"],
+                      default="text",
+                      help="output format (chrome: trace only)")
     lint.add_argument("--baseline", default=None,
                       help="baseline file (default: lint-baseline.json "
                            "at the repo root)")

@@ -1,0 +1,88 @@
+"""``python -m repro bench-diff a.json b.json`` — compare bench dumps.
+
+Benchmarks write ``BENCH_<name>.json`` files (see
+``benchmarks/conftest.py``); this helper diffs two of them, printing
+every shared numeric field from ``stats`` (wall-clock, i.e. simulator
+speed) and ``extra_info`` (simulated seconds and derived ratios, i.e.
+the reproduced results) side by side with absolute and relative deltas.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.core.results import render_table
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _numeric_fields(record: dict, section: str) -> dict[str, float]:
+    data = record.get(section) or {}
+    return {
+        key: float(value) for key, value in data.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return f"{int(value):,}"
+    return f"{value:,.6g}"
+
+
+def diff_rows(a: dict, b: dict) -> list[list[str]]:
+    rows: list[list[str]] = []
+    for section in ("extra_info", "stats"):
+        fields_a = _numeric_fields(a, section)
+        fields_b = _numeric_fields(b, section)
+        for key in sorted(fields_a.keys() | fields_b.keys()):
+            va, vb = fields_a.get(key), fields_b.get(key)
+            if va is None or vb is None:
+                present = "A only" if vb is None else "B only"
+                rows.append([f"{section}.{key}",
+                             _fmt(va) if va is not None else "-",
+                             _fmt(vb) if vb is not None else "-",
+                             present, ""])
+                continue
+            delta = vb - va
+            pct = f"{delta / va * 100:+.1f}%" if va else "n/a"
+            rows.append([f"{section}.{key}", _fmt(va), _fmt(vb),
+                         _fmt(delta), pct])
+    return rows
+
+
+def run_bench_diff(args) -> int:
+    paths = getattr(args, "paths", None) or []
+    if len(paths) != 2:
+        print("bench-diff needs exactly two BENCH_*.json files",
+              file=sys.stderr)
+        return 2
+    try:
+        a, b = _load(paths[0]), _load(paths[1])
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-diff: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    name_a = a.get("name") or paths[0]
+    name_b = b.get("name") or paths[1]
+    rows = diff_rows(a, b)
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps({
+            "a": {"path": paths[0], "name": name_a},
+            "b": {"path": paths[1], "name": name_b},
+            "fields": [
+                {"field": r[0], "a": r[1], "b": r[2],
+                 "delta": r[3], "delta_pct": r[4]}
+                for r in rows
+            ],
+        }, indent=2))
+        return 0
+    title = f"bench-diff: {name_a}  vs  {name_b}"
+    if name_a != name_b:
+        title += "  (different benchmarks!)"
+    print(render_table(["Field", "A", "B", "Delta", "Delta %"], rows,
+                       title=title))
+    return 0

@@ -49,6 +49,8 @@ class PowerTestResult:
     #: variant -> {'Q5': reason} for queries that failed or timed out;
     #: their ``times`` entry holds the partial simulated charge
     failures: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: variant -> Tracer with the full span tree (tracing runs only)
+    traces: dict[str, object] = field(default_factory=dict)
 
     def total(self, variant: str, queries_only: bool = False) -> float:
         names = paperdata.QUERIES if queries_only \
@@ -156,7 +158,11 @@ def run_power_test(
     include_updates: bool = True,
     data: TpcdData | None = None,
     query_timeout_s: float | None = None,
+    tracing: bool = False,
 ) -> PowerTestResult:
+    """Run the power test; with ``tracing=True`` each variant's system
+    records a full hierarchical trace (enabled after load, so the trace
+    covers the measured suite only) available in ``result.traces``."""
     data = data or generate(scale_factor)
     refresh = generate_refresh_orders(data)
     doomed = delete_keys(data)
@@ -164,6 +170,9 @@ def run_power_test(
 
     if "rdbms" in variants:
         db = load_original(data, params=params)
+        if tracing:
+            db.tracer.enable()
+            result.traces["rdbms"] = db.tracer
         (result.times["rdbms"], result.row_counts["rdbms"],
          result.failures["rdbms"]) = _run_rdbms(
             db, scale_factor, refresh, doomed, include_updates,
@@ -180,15 +189,21 @@ def run_power_test(
     uf_failures: dict[str, str] = {}
     for i, variant in enumerate(sap_needed):
         r3 = build_sap_system(data, version, params)
+        if tracing:
+            r3.tracer.enable()
+            result.traces[variant] = r3.tracer
         times: dict[str, float] = {}
         counts: dict[str, int] = {}
         failed: dict[str, str] = {}
         for number in range(1, 18):
             name = f"Q{number}"
             suite_fn = sap_suites[variant][number]
-            elapsed, rows, reason = _guarded(
-                r3.clock, r3.metrics, name, query_timeout_s,
-                lambda fn=suite_fn: fn(r3))
+            with r3.tracer.span("power.query", capture_metrics=True,
+                                name=name, variant=variant) as qspan:
+                elapsed, rows, reason = _guarded(
+                    r3.clock, r3.metrics, name, query_timeout_s,
+                    lambda fn=suite_fn: fn(r3))
+                qspan.set(elapsed_s=elapsed, failed=reason is not None)
             times[name] = elapsed
             if reason is None:
                 counts[name] = len(rows)
@@ -200,8 +215,12 @@ def run_power_test(
                 # implementation; measure once, record for both.
                 for name, fn in (("UF1", lambda: run_uf1_sap(r3, refresh)),
                                  ("UF2", lambda: run_uf2_sap(r3, doomed))):
-                    elapsed, _, reason = _guarded(
-                        r3.clock, r3.metrics, name, query_timeout_s, fn)
+                    with r3.tracer.span("power.query", capture_metrics=True,
+                                        name=name, variant=variant) as uspan:
+                        elapsed, _, reason = _guarded(
+                            r3.clock, r3.metrics, name, query_timeout_s, fn)
+                        uspan.set(elapsed_s=elapsed,
+                                  failed=reason is not None)
                     uf_times[name] = elapsed
                     if reason is not None:
                         uf_failures[name] = reason
@@ -224,9 +243,12 @@ def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
     for number in sorted(specs):
         name = f"Q{number}"
         spec = specs[number]
-        elapsed, rows, reason = _guarded(
-            db.clock, db.metrics, name, query_timeout_s,
-            lambda s=spec: run_query(db, s))
+        with db.tracer.span("power.query", capture_metrics=True,
+                            name=name, variant="rdbms") as qspan:
+            elapsed, rows, reason = _guarded(
+                db.clock, db.metrics, name, query_timeout_s,
+                lambda s=spec: run_query(db, s))
+            qspan.set(elapsed_s=elapsed, failed=reason is not None)
         times[name] = elapsed
         if reason is None:
             counts[name] = len(rows.rows)
@@ -235,8 +257,11 @@ def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
     if include_updates:
         for name, fn in (("UF1", lambda: run_uf1_rdbms(db, refresh)),
                          ("UF2", lambda: run_uf2_rdbms(db, doomed))):
-            elapsed, _, reason = _guarded(
-                db.clock, db.metrics, name, query_timeout_s, fn)
+            with db.tracer.span("power.query", capture_metrics=True,
+                                name=name, variant="rdbms") as uspan:
+                elapsed, _, reason = _guarded(
+                    db.clock, db.metrics, name, query_timeout_s, fn)
+                uspan.set(elapsed_s=elapsed, failed=reason is not None)
             times[name] = elapsed
             if reason is not None:
                 failed[name] = reason

@@ -41,6 +41,7 @@ from repro.sim.clock import SimulatedClock
 from repro.sim.disk import DiskModel
 from repro.sim.metrics import MetricsCollector
 from repro.sim.params import SimParams
+from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -77,7 +78,7 @@ class PreparedStatement:
         self._plan: PlannedQuery | None = None
         stmt = parse_sql(sql)
         if isinstance(stmt, SelectStmt):
-            self._plan = database._plan(stmt)
+            self._plan = database._plan(stmt, sql=sql)
             self._stmt = None
         else:
             self._stmt = stmt
@@ -86,9 +87,10 @@ class PreparedStatement:
     def execute(self, params: Sequence[object] = ()) -> Result:
         self.executions += 1
         if self._plan is not None:
-            return self._database._run_plan(self._plan, params)
+            return self._database._run_plan(self._plan, params, sql=self.sql)
         assert self._stmt is not None
-        return self._database._execute_dml(copy.deepcopy(self._stmt), params)
+        return self._database._execute_dml(copy.deepcopy(self._stmt), params,
+                                           sql=self.sql)
 
     def explain(self) -> str:
         if self._plan is None:
@@ -126,6 +128,8 @@ class Database:
         self.ctx = ExecContext(self.clock, self.metrics, self.params,
                                self.buffer_pool)
         self._planner = Planner(self.catalog, self.stats, self.ctx)
+        #: hierarchical span tracer (disabled by default, zero-overhead)
+        self.tracer = Tracer(self.clock, self.metrics)
 
     # -- DDL ----------------------------------------------------------------
 
@@ -169,9 +173,9 @@ class Database:
     def execute(self, sql: str, params: Sequence[object] = ()) -> Result:
         stmt = parse_sql(sql)
         if isinstance(stmt, SelectStmt):
-            plan = self._plan(stmt)
-            return self._run_plan(plan, params)
-        return self._execute_dml(stmt, params)
+            plan = self._plan(stmt, sql=sql)
+            return self._run_plan(plan, params, sql=sql)
+        return self._execute_dml(stmt, params, sql=sql)
 
     def prepare(self, sql: str) -> PreparedStatement:
         return PreparedStatement(self, sql)
@@ -182,19 +186,40 @@ class Database:
             return f"DML({sql.strip().split()[0].upper()})"
         return self._plan(stmt).operator.explain()
 
-    def _plan(self, stmt: SelectStmt) -> PlannedQuery:
+    def _plan(self, stmt: SelectStmt, sql: str | None = None) -> PlannedQuery:
         self.metrics.count("db.plans")
         self.clock.charge(self.params.plan_cpu_s)
-        return self._planner.plan_select(stmt)
+        with self.tracer.span("db.plan", sql=sql):
+            return self._planner.plan_select(stmt)
 
-    def _run_plan(self, plan: PlannedQuery, params: Sequence[object]) -> Result:
+    def _run_plan(self, plan: PlannedQuery, params: Sequence[object],
+                  sql: str | None = None) -> Result:
         self.metrics.count("db.queries")
-        rows = list(plan.operator.rows(params))
+        tracer = self.tracer
+        if not tracer.enabled:
+            rows = list(plan.operator.rows(params))
+            return Result(plan.column_names, rows)
+        # EXPLAIN ANALYZE mode: instrument the plan (idempotent; the
+        # profile accumulates across executions of a cached cursor).
+        from repro.engine.exec.profile import attach_profile
+
+        profile = attach_profile(plan.operator, self.clock, self.metrics)
+        with tracer.span("db.query", sql=sql) as span:
+            rows = list(plan.operator.rows(params))
+            span.set(rows=len(rows), profile=profile)
         return Result(plan.column_names, rows)
 
     # -- DML -------------------------------------------------------------------
 
-    def _execute_dml(self, stmt, params: Sequence[object]) -> Result:
+    def _execute_dml(self, stmt, params: Sequence[object],
+                     sql: str | None = None) -> Result:
+        with self.tracer.span("db.dml", sql=sql,
+                              kind=type(stmt).__name__) as span:
+            result = self._dispatch_dml(stmt, params)
+            span.set(rows=result.scalar())
+            return result
+
+    def _dispatch_dml(self, stmt, params: Sequence[object]) -> Result:
         if isinstance(stmt, InsertStmt):
             return self._run_insert(stmt, params)
         if isinstance(stmt, DeleteStmt):

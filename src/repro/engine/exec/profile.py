@@ -1,0 +1,148 @@
+"""EXPLAIN ANALYZE-style per-operator execution profiling.
+
+``attach_profile`` instruments a physical operator tree in place: each
+operator's ``rows()`` is shadowed by a wrapper that accounts, per
+``next()`` pull, the inclusive simulated seconds, rows produced, and
+pages read (from the disk counters).  Parent measurements naturally
+include child work — exclusive time falls out as inclusive minus the
+children's inclusive.
+
+The profile accumulates across executions of the same plan, which is
+exactly what a cursor-cached prepared statement needs: a nested SELECT
+loop re-executes one plan thousands of times, and the aggregate
+profile shows the total cost of each operator over the whole loop.
+
+The wrapper only *reads* the clock and the metrics — it never charges
+— so profiling changes simulated durations by zero ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.exec.base import Operator
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector
+
+_PAGE_COUNTERS = ("disk.seq_reads", "disk.random_reads")
+
+
+class OperatorProfile:
+    """Accumulated execution statistics for one plan operator."""
+
+    __slots__ = ("label", "depth", "loops", "rows_out", "pages_read",
+                 "inclusive_s", "children")
+
+    def __init__(self, label: str, depth: int) -> None:
+        self.label = label
+        self.depth = depth
+        #: times the operator was opened (executions of the plan, or
+        #: rescans when a parent re-opens its input)
+        self.loops = 0
+        self.rows_out = 0
+        #: pages read while this operator (incl. children) was pulling
+        self.pages_read = 0.0
+        #: simulated seconds spent inside this operator incl. children
+        self.inclusive_s = 0.0
+        self.children: list[OperatorProfile] = []
+
+    @property
+    def rows_in(self) -> int:
+        """Rows delivered by the child operators (0 for leaf scans)."""
+        return sum(child.rows_out for child in self.children)
+
+    @property
+    def exclusive_s(self) -> float:
+        return self.inclusive_s - sum(c.inclusive_s for c in self.children)
+
+    @property
+    def exclusive_pages(self) -> float:
+        return self.pages_read - sum(c.pages_read for c in self.children)
+
+    def walk(self) -> Iterator["OperatorProfile"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "operator": self.label,
+            "loops": self.loops,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "pages_read": self.pages_read,
+            "inclusive_s": self.inclusive_s,
+            "exclusive_s": self.exclusive_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.label}  loops={self.loops} rows={self.rows_out} "
+            f"pages={self.pages_read:g} incl={self.inclusive_s:.6f}s "
+            f"excl={self.exclusive_s:.6f}s"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def _pages(metrics: MetricsCollector) -> float:
+    return sum(metrics.get(name) for name in _PAGE_COUNTERS)
+
+
+def attach_profile(root: Operator, clock: SimulatedClock,
+                   metrics: MetricsCollector) -> OperatorProfile:
+    """Instrument ``root`` (idempotently) and return its profile tree."""
+    existing = getattr(root, "_profile", None)
+    if existing is not None:
+        return existing
+
+    def wrap(op: Operator, depth: int) -> OperatorProfile:
+        profile = OperatorProfile(op.describe(), depth)
+        original_rows = op.rows
+
+        def rows(params: Sequence[object],
+                 _orig=original_rows, _prof=profile) -> Iterator[tuple]:
+            _prof.loops += 1
+            source = _orig(params)
+            while True:
+                t0 = clock.now
+                p0 = _pages(metrics)
+                try:
+                    row = next(source)
+                except StopIteration:
+                    _prof.inclusive_s += clock.now - t0
+                    _prof.pages_read += _pages(metrics) - p0
+                    return
+                except BaseException:
+                    # Deadline/timeout fired mid-pull: keep the
+                    # partial charge visible in the profile.
+                    _prof.inclusive_s += clock.now - t0
+                    _prof.pages_read += _pages(metrics) - p0
+                    raise
+                _prof.inclusive_s += clock.now - t0
+                _prof.pages_read += _pages(metrics) - p0
+                _prof.rows_out += 1
+                yield row
+
+        op.rows = rows  # type: ignore[method-assign]
+        op._profile = profile  # type: ignore[attr-defined]
+        for child in op.child_operators():
+            profile.children.append(wrap(child, depth + 1))
+        return profile
+
+    return wrap(root, 0)
+
+
+def detach_profile(root: Operator) -> None:
+    """Remove instrumentation installed by :func:`attach_profile`."""
+    def unwrap(op: Operator) -> None:
+        if getattr(op, "_profile", None) is not None:
+            del op.rows  # restore the class-level method
+            del op._profile
+        for child in op.child_operators():
+            unwrap(child)
+
+    unwrap(root)

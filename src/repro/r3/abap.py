@@ -71,13 +71,15 @@ class InternalTable:
         r3 = self._r3
         count = len(self.rows)
         key_fn = key_fn or (lambda row: row)
-        if count > 1:
-            r3.clock.charge(r3.params.sort_cmp_s * count * math.log2(count))
-        if via_disk and count:
-            byte_count = count * self._row_bytes()
-            r3.db.ctx.charge_spill(byte_count, "abap-sort")
-            r3.metrics.count("abap.sort_spills")
-        self.rows.sort(key=key_fn)
+        with r3.tracer.span("abap.sort", rows=count, via_disk=via_disk):
+            if count > 1:
+                r3.clock.charge(
+                    r3.params.sort_cmp_s * count * math.log2(count))
+            if via_disk and count:
+                byte_count = count * self._row_bytes()
+                r3.db.ctx.charge_spill(byte_count, "abap-sort")
+                r3.metrics.count("abap.sort_spills")
+            self.rows.sort(key=key_fn)
         self._key_fn = key_fn
         self._sorted_keys = [key_fn(row) for row in self.rows]
 
@@ -156,11 +158,13 @@ def group_aggregate(
 ) -> list[tuple]:
     """The complete Figure 4 idiom: EXTRACT → SORT (via disk) → LOOP
     with AT END, folding each group with ``fold_fn(key, rows)``."""
-    itab = InternalTable(r3)
-    for record in records:
-        itab.extract(record)
-    itab.sort(key_fn)
-    out: list[tuple] = []
-    for key, rows in itab.group_loop(key_fn):
-        out.append(fold_fn(key, rows))
+    with r3.tracer.span("abap.group_aggregate") as span:
+        itab = InternalTable(r3)
+        for record in records:
+            itab.extract(record)
+        itab.sort(key_fn)
+        out: list[tuple] = []
+        for key, rows in itab.group_loop(key_fn):
+            out.append(fold_fn(key, rows))
+        span.set(records=len(itab), groups=len(out))
     return out

@@ -57,6 +57,8 @@ class R3System:
         self.db = Database(params=self.params, name="sapdb")
         self.clock = self.db.clock
         self.metrics = self.db.metrics
+        #: shared hierarchical tracer (one tree across all tiers)
+        self.tracer = self.db.tracer
         self.client = client
         self.ddic = DataDictionary()
         #: optional FaultInjector (see :meth:`attach_faults`)

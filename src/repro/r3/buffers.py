@@ -89,11 +89,13 @@ class TableBufferManager:
         if buffer is None:
             return False, False, None
         r3 = self._r3
-        r3.clock.charge(r3.params.cache_lookup_s)
-        r3.metrics.count("buffer_mgr.lookups")
-        hit, row = buffer.lookup(key)
-        if hit:
-            r3.metrics.count("buffer_mgr.hits")
+        with r3.tracer.span("buffer.lookup", table=table_name) as span:
+            r3.clock.charge(r3.params.cache_lookup_s)
+            r3.metrics.count("buffer_mgr.lookups")
+            hit, row = buffer.lookup(key)
+            if hit:
+                r3.metrics.count("buffer_mgr.hits")
+            span.set(hit=hit)
         return True, hit, row
 
     def store(self, table_name: str, key: tuple, row: tuple | None) -> None:

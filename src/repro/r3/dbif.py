@@ -44,21 +44,26 @@ class DatabaseInterface:
                       use_cursor_cache: bool = True) -> Result:
         """Round trip with a parameterized statement (plan cached)."""
         r3 = self._r3
-        self._roundtrip()
-        if use_cursor_cache and self.cache_enabled:
-            stmt = self._cursor_cache.get(sql)
-            if stmt is None:
-                r3.metrics.count("dbif.cursor_cache_misses")
-                stmt = r3.db.prepare(sql)
-                self._cursor_cache[sql] = stmt
+        with r3.tracer.span("dbif.call", mode="param", sql=sql) as span:
+            attempts = self._roundtrip()
+            if use_cursor_cache and self.cache_enabled:
+                stmt = self._cursor_cache.get(sql)
+                if stmt is None:
+                    r3.metrics.count("dbif.cursor_cache_misses")
+                    stmt = r3.db.prepare(sql)
+                    self._cursor_cache[sql] = stmt
+                    span.set(cursor="miss")
+                else:
+                    r3.metrics.count("dbif.cursor_cache_hits")
+                    span.set(cursor="hit")
             else:
-                r3.metrics.count("dbif.cursor_cache_hits")
-        else:
-            r3.metrics.count("dbif.cursor_cache_bypassed")
-            stmt = r3.db.prepare(sql)
-        result = self._execute_timed(sql, lambda: stmt.execute(params))
-        self._charge_shipping(result)
-        return result
+                r3.metrics.count("dbif.cursor_cache_bypassed")
+                stmt = r3.db.prepare(sql)
+                span.set(cursor="bypass")
+            result = self._execute_timed(sql, lambda: stmt.execute(params))
+            self._charge_shipping(result)
+            span.set(rows=len(result.rows), roundtrips=attempts)
+            return result
 
     # -- literal path (Native SQL / EXEC SQL) --------------------------------
 
@@ -67,23 +72,26 @@ class DatabaseInterface:
         """Round trip with literal SQL: planned fresh, literals visible
         to the optimizer."""
         r3 = self._r3
-        self._roundtrip()
-        result = self._execute_timed(
-            sql, lambda: r3.db.execute(sql, params))
-        self._charge_shipping(result)
-        return result
+        with r3.tracer.span("dbif.call", mode="literal", sql=sql) as span:
+            attempts = self._roundtrip()
+            result = self._execute_timed(
+                sql, lambda: r3.db.execute(sql, params))
+            self._charge_shipping(result)
+            span.set(rows=len(result.rows), roundtrips=attempts)
+            return result
 
     def flush_cursor_cache(self) -> None:
         self._cursor_cache.clear()
 
     # -- internals ------------------------------------------------------------
 
-    def _roundtrip(self) -> None:
+    def _roundtrip(self) -> int:
         """Charge one round trip, reconnecting through injected drops.
 
         Each attempt pays the round-trip latency; each failure pays an
         exponentially growing backoff before the reconnect.  Retry
         exhaustion re-raises the loss chained to the injected fault.
+        Returns the number of round trips taken (1 on the happy path).
         """
         r3 = self._r3
         attempt = 0
@@ -91,10 +99,10 @@ class DatabaseInterface:
             r3.clock.charge(r3.params.roundtrip_s)
             r3.metrics.count("dbif.roundtrips")
             if r3.faults is None:
-                return
+                return attempt + 1
             try:
                 r3.faults.on_roundtrip()
-                return
+                return attempt + 1
             except ConnectionLostError as exc:
                 attempt += 1
                 r3.metrics.count("dbif.connection_drops")

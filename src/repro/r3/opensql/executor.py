@@ -61,27 +61,36 @@ class OpenSql:
     def select(self, text: str, host_vars: dict[str, object] | None = None
                ) -> OSResult:
         """SELECT ... ENDSELECT: run the statement, return all rows."""
-        stmt = parse_open_sql(text)
-        return self._run(stmt, host_vars or {})
+        with self._r3.tracer.span("opensql.select", statement=text) as span:
+            with self._r3.tracer.span("opensql.parse"):
+                stmt = parse_open_sql(text)
+            result = self._run(stmt, host_vars or {})
+            span.set(rows=len(result.rows))
+            return result
 
     def select_single(self, text: str,
                       host_vars: dict[str, object] | None = None
                       ) -> tuple | None:
         """SELECT SINGLE: at most one row, table buffer aware."""
-        stmt = parse_open_sql(text)
-        if not stmt.single:
-            stmt.single = True
-        host_vars = host_vars or {}
-        buffered = self._try_buffer(stmt, host_vars)
-        if buffered is not None:
-            hit, row = buffered
-            if hit:
-                return row
-        result = self._run(stmt, host_vars)
-        row = result.first()
-        if buffered is not None:
-            self._store_buffer(stmt, host_vars, row)
-        return row
+        with self._r3.tracer.span("opensql.select_single",
+                                  statement=text) as span:
+            with self._r3.tracer.span("opensql.parse"):
+                stmt = parse_open_sql(text)
+            if not stmt.single:
+                stmt.single = True
+            host_vars = host_vars or {}
+            buffered = self._try_buffer(stmt, host_vars)
+            if buffered is not None:
+                hit, row = buffered
+                if hit:
+                    span.set(path="buffer", rows=1 if row else 0)
+                    return row
+            result = self._run(stmt, host_vars)
+            row = result.first()
+            if buffered is not None:
+                self._store_buffer(stmt, host_vars, row)
+            span.set(rows=1 if row else 0)
+            return row
 
     # -- feature gates -------------------------------------------------------
 
@@ -123,10 +132,13 @@ class OpenSql:
                 raise OpenSqlError(f"unknown table or view {name}")
         self._check_gates(stmt, kinds)
         if kinds[0] is TableKind.TRANSPARENT:
+            r3.tracer.current().set(path="pushdown", table=stmt.table)
             return self._run_pushdown(stmt, host_vars)
         table = r3.ddic.lookup(stmt.table)
         if table.kind is TableKind.POOL:
+            r3.tracer.current().set(path="pool", table=stmt.table)
             return self._run_pool(stmt, table, host_vars)
+        r3.tracer.current().set(path="cluster", table=stmt.table)
         return self._run_cluster(stmt, table, host_vars)
 
     # -- pushdown path --------------------------------------------------------
@@ -149,9 +161,10 @@ class OpenSql:
     def _run_pushdown(self, stmt: OSSelect,
                       host_vars: dict[str, object]) -> OSResult:
         r3 = self._r3
-        translation = translate(stmt, self._field_names_of,
-                                self._client_dependent)
-        params = translation.bind(r3.client, host_vars)
+        with r3.tracer.span("opensql.translate"):
+            translation = translate(stmt, self._field_names_of,
+                                    self._client_dependent)
+            params = translation.bind(r3.client, host_vars)
         result = r3.dbif.execute_param(translation.sql, params)
         r3.charge_abap(len(result.rows))
         return OSResult(result.columns, result.rows)
@@ -179,12 +192,15 @@ class OpenSql:
                 (table.name,),
             )
         rows = []
-        for (vardata,) in result.rows:
-            r3.charge_decode()
-            full = PoolContainer.decode(table, vardata)
-            if full[0] != r3.client:
-                continue
-            rows.append(full[1:])  # strip MANDT
+        with r3.tracer.span("opensql.decode", kind="pool",
+                            table=table.name) as span:
+            for (vardata,) in result.rows:
+                r3.charge_decode()
+                full = PoolContainer.decode(table, vardata)
+                if full[0] != r3.client:
+                    continue
+                rows.append(full[1:])  # strip MANDT
+            span.set(records=len(result.rows), rows=len(rows))
         return self._finish_app_side(stmt, table, rows, host_vars)
 
     def _run_cluster(self, stmt: OSSelect, table: DDicTable,
@@ -207,10 +223,13 @@ class OpenSql:
                 (r3.client,),
             )
         rows = []
-        for (vardata,) in result.rows:
-            for logical in ClusterContainer.decode_page(table, vardata):
-                r3.charge_decode()
-                rows.append(logical)
+        with r3.tracer.span("opensql.decode", kind="cluster",
+                            table=table.name) as span:
+            for (vardata,) in result.rows:
+                for logical in ClusterContainer.decode_page(table, vardata):
+                    r3.charge_decode()
+                    rows.append(logical)
+            span.set(pages=len(result.rows), rows=len(rows))
         return self._finish_app_side(stmt, table, rows, host_vars)
 
     def _finish_app_side(self, stmt: OSSelect, table: DDicTable,

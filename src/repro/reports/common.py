@@ -57,10 +57,11 @@ class KonvLookup:
     def conditions(self, knumv: str) -> dict[str, dict[str, float]]:
         """posnr -> {'disc': ..., 'tax': ...} for one pricing document."""
         if knumv != self._knumv:
-            result = self._r3.open_sql.select(
-                "SELECT kposn kschl kbetr FROM konv WHERE knumv = :knumv",
-                {"knumv": knumv},
-            )
+            with self._r3.tracer.span("report.konv_fetch", knumv=knumv):
+                result = self._r3.open_sql.select(
+                    "SELECT kposn kschl kbetr FROM konv WHERE knumv = :knumv",
+                    {"knumv": knumv},
+                )
             table: dict[str, dict[str, float]] = {}
             for kposn, kschl, kbetr in result.rows:
                 entry = table.setdefault(kposn, {})
@@ -114,25 +115,29 @@ def nations_in_region(r3: R3System, region_name: str) -> dict[str, str]:
 def supplier_comment_map(r3: R3System, lifnrs: list[str]) -> dict[str, str]:
     """lifnr -> s_comment via STXL single-record probes."""
     out: dict[str, str] = {}
-    for lifnr in lifnrs:
-        row = r3.open_sql.select_single(
-            "SELECT SINGLE tdline FROM stxl WHERE tdobject = 'LFA1' "
-            "AND tdname = :name",
-            {"name": lifnr},
-        )
-        out[lifnr] = row[0] if row else ""
+    with r3.tracer.span("report.comment_probes", kind="supplier",
+                        probes=len(lifnrs)):
+        for lifnr in lifnrs:
+            row = r3.open_sql.select_single(
+                "SELECT SINGLE tdline FROM stxl WHERE tdobject = 'LFA1' "
+                "AND tdname = :name",
+                {"name": lifnr},
+            )
+            out[lifnr] = row[0] if row else ""
     return out
 
 
 def customer_comment_map(r3: R3System, kunnrs: list[str]) -> dict[str, str]:
     out: dict[str, str] = {}
-    for kunnr in kunnrs:
-        row = r3.open_sql.select_single(
-            "SELECT SINGLE tdline FROM stxl WHERE tdobject = 'KNA1' "
-            "AND tdname = :name",
-            {"name": kunnr},
-        )
-        out[kunnr] = row[0] if row else ""
+    with r3.tracer.span("report.comment_probes", kind="customer",
+                        probes=len(kunnrs)):
+        for kunnr in kunnrs:
+            row = r3.open_sql.select_single(
+                "SELECT SINGLE tdline FROM stxl WHERE tdobject = 'KNA1' "
+                "AND tdname = :name",
+                {"name": kunnr},
+            )
+            out[kunnr] = row[0] if row else ""
     return out
 
 

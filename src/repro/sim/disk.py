@@ -59,9 +59,15 @@ class DiskModel:
         self._transfer("disk.writes", self._write_s)
 
     def _transfer(self, counter: str, cost_s: float) -> None:
-        """One page transfer, retried through transient injected faults."""
+        """One page transfer, retried through transient injected faults.
+
+        Besides the per-class page counter, the model accumulates
+        ``disk.time_s`` — the simulated seconds spent on transfers — so
+        span-scoped counter deltas can attribute disk time per query.
+        """
         if self.faults is None:
             self._metrics.count(counter)
+            self._metrics.count("disk.time_s", cost_s)
             self._clock.charge(cost_s)
             return
         # Imported lazily: repro.engine imports this module at load time.
@@ -70,6 +76,7 @@ class DiskModel:
         attempts = 0
         while True:
             self._clock.charge(cost_s)
+            self._metrics.count("disk.time_s", cost_s)
             try:
                 self.faults.on_disk_op()
                 break
@@ -77,6 +84,7 @@ class DiskModel:
                 attempts += 1
                 self._metrics.count("disk.io_retries")
                 self._clock.charge(self._retry_penalty_s)
+                self._metrics.count("disk.time_s", self._retry_penalty_s)
                 if attempts > self._max_retries:
                     raise DiskIOError(
                         f"page transfer failed after {attempts} attempts"

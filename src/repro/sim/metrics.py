@@ -20,17 +20,50 @@ class MetricsSnapshot:
         self._base = Counter(collector._counts)
 
     def delta(self) -> dict[str, float]:
-        """Counter deltas accumulated since the snapshot was taken."""
+        """Counter deltas accumulated since the snapshot was taken.
+
+        Counters that existed at the base but were reset or removed
+        afterwards show up with a negative delta — a silent drop would
+        make a ``reset()`` between snapshots look like "nothing
+        happened".
+        """
         current = self._collector._counts
         out: dict[str, float] = {}
-        for name, value in current.items():
-            change = value - self._base.get(name, 0)
+        for name in current.keys() | self._base.keys():
+            change = current.get(name, 0) - self._base.get(name, 0)
             if change:
                 out[name] = change
         return out
 
     def get(self, name: str) -> float:
         return self._collector._counts.get(name, 0) - self._base.get(name, 0)
+
+
+class MetricsScope:
+    """Context manager freezing the counter deltas over a ``with`` block.
+
+    After exit, :attr:`delta` holds the per-counter changes accumulated
+    inside the block.  The tracer uses one scope per span to attach
+    counter deltas (round trips, pages, shipped tuples) to the span.
+    """
+
+    def __init__(self, collector: "MetricsCollector") -> None:
+        self._collector = collector
+        self._snapshot: MetricsSnapshot | None = None
+        self.delta: dict[str, float] = {}
+
+    def __enter__(self) -> "MetricsScope":
+        self._snapshot = self._collector.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._snapshot is not None
+        self.delta = self._snapshot.delta()
+
+    def get(self, name: str) -> float:
+        if self._snapshot is None:
+            return 0
+        return self._snapshot.get(name)
 
 
 class MetricsCollector:
@@ -49,6 +82,10 @@ class MetricsCollector:
     def snapshot(self) -> MetricsSnapshot:
         """Mark the current state; deltas are measured against it."""
         return MetricsSnapshot(self)
+
+    def scoped(self) -> MetricsScope:
+        """Scope counters over a ``with`` block (see :class:`MetricsScope`)."""
+        return MetricsScope(self)
 
     def all(self) -> dict[str, float]:
         return dict(self._counts)

@@ -1,0 +1,23 @@
+"""Hierarchical span tracing and profiling over the simulated stack.
+
+The core pieces:
+
+* :class:`~repro.trace.tracer.Tracer` / :class:`~repro.trace.tracer.Span`
+  — the clock-reading span recorder every tier reports into,
+* :class:`~repro.trace.analyze.TraceAnalyzer` — per-query layer
+  breakdowns and hottest-operator rankings,
+* :func:`~repro.trace.export.to_json` / :func:`~repro.trace.export.to_chrome`
+  — serialisers for offline inspection.
+
+The CLI glue lives in :mod:`repro.trace.cli` and is intentionally not
+imported here (it pulls in the whole power test).
+"""
+
+from repro.trace.analyze import OperatorTotals, QueryBreakdown, TraceAnalyzer
+from repro.trace.export import span_to_dict, to_chrome, to_json
+from repro.trace.tracer import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "NOOP_SPAN", "OperatorTotals", "QueryBreakdown", "Span", "Tracer",
+    "TraceAnalyzer", "span_to_dict", "to_chrome", "to_json",
+]

@@ -1,0 +1,93 @@
+"""Trace exporters: a stable JSON form and Chrome ``chrome://tracing``.
+
+``to_json`` serialises a tracer's span tree into a plain-dict document
+(format tag ``repro-trace-v1``); ``to_chrome`` converts either a tracer
+or that JSON document into the Chrome Trace Event format, so a trace
+dumped to disk can be loaded into ``chrome://tracing`` / Perfetto.  All
+timestamps are *simulated* seconds, exported as microseconds in the
+Chrome form (the convention that format expects).
+"""
+
+from __future__ import annotations
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _attr_value(value: object) -> object:
+    if isinstance(value, _SCALAR):
+        return value
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    return str(value)
+
+
+def span_to_dict(span) -> dict:
+    """One span (and its subtree) as plain JSON-ready dicts."""
+    end_s = span.end_s if span.end_s is not None else span.start_s
+    out = {
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": end_s,
+        "attrs": {k: _attr_value(v) for k, v in span.attrs.items()},
+    }
+    if span.counters:
+        out["counters"] = dict(span.counters)
+    out["children"] = [span_to_dict(child) for child in span.children]
+    return out
+
+
+def to_json(tracer, meta: dict | None = None) -> dict:
+    """The whole trace as a JSON-ready document."""
+    return {
+        "format": "repro-trace-v1",
+        "clock": "simulated_seconds",
+        "meta": dict(meta or {}),
+        "dropped_spans": getattr(tracer, "dropped", 0),
+        "spans": [span_to_dict(root) for root in tracer.roots],
+    }
+
+
+def to_chrome(trace, tid: int = 1, pid: int = 1,
+              thread_name: str | None = None) -> dict:
+    """Chrome Trace Event document from a tracer or a ``to_json`` dict.
+
+    Every span becomes a complete ('X') event; simulated seconds map to
+    the format's microsecond timestamps.  Operator profiles are left
+    out of ``args`` (they have their own JSON form and would bloat the
+    viewer's tooltips).
+    """
+    if not isinstance(trace, dict):
+        trace = to_json(trace)
+    events: list[dict] = []
+    if thread_name:
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": thread_name}})
+
+    def emit(node: dict) -> None:
+        args = {
+            k: v for k, v in node.get("attrs", {}).items()
+            if isinstance(v, _SCALAR) and v is not None
+        }
+        for name, value in node.get("counters", {}).items():
+            args[f"counter:{name}"] = value
+        events.append({
+            "name": node["name"],
+            "cat": node["name"].split(".", 1)[0],
+            "ph": "X",
+            "ts": node["start_s"] * 1e6,
+            "dur": (node["end_s"] - node["start_s"]) * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for child in node.get("children", ()):
+            emit(child)
+
+    for root in trace.get("spans", ()):
+        emit(root)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(trace.get("meta", {})),
+    }

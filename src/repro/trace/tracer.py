@@ -1,0 +1,217 @@
+"""ST05-style hierarchical span tracing on the simulated clock.
+
+A :class:`Tracer` records *spans* — named, attributed windows over the
+shared :class:`~repro.sim.clock.SimulatedClock`.  Spans nest: every
+tier of the stack (report, ABAP runtime, Open SQL, DBIF, engine,
+per-operator plan execution) opens a span around its work, producing a
+tree that decomposes where the simulated time of a query went — the
+same where-did-the-time-go evidence SAP's ST05 SQL trace gives a
+basis consultant.
+
+Two invariants the whole subsystem relies on:
+
+* **The tracer never charges the clock.**  Spans only *read*
+  ``clock.now`` at entry and exit, so enabling tracing changes the
+  simulated duration of any run by exactly zero ticks.
+* **Disabled mode allocates nothing.**  When the tracer is disabled,
+  :meth:`Tracer.span` returns a shared no-op singleton — no ``Span``
+  object, no contextvar traffic, no metrics snapshot — so the hot
+  paths pay one attribute load and one branch.
+
+The current span is tracked in a per-tracer :mod:`contextvars`
+variable, so tracers from different systems (e.g. the three power-test
+variants) never interleave their trees, and code deep in the stack can
+annotate the innermost open span via :meth:`Tracer.current`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+from typing import Iterator
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector, MetricsScope
+
+_tracer_ids = itertools.count()
+
+
+class _NoopSpan:
+    """Shared do-nothing span; the disabled-mode return of ``span()``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def add(self, name: str, amount: float = 1) -> "_NoopSpan":
+        return self
+
+
+#: the singleton no-op span (identity-testable: ``span() is NOOP_SPAN``)
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One traced window: name, attributes, children, clock readings.
+
+    ``start_s``/``end_s`` are simulated seconds; ``end_s`` is ``None``
+    while the span is open.  ``counters`` holds the metric deltas
+    accumulated inside the span when it was opened with
+    ``capture_metrics=True``.
+    """
+
+    __slots__ = ("name", "attrs", "start_s", "end_s", "children",
+                 "counters", "_tracer", "_token", "_scope")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict,
+                 capture_metrics: bool) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start_s: float = 0.0
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+        self.counters: dict[str, float] = {}
+        self._token: contextvars.Token | None = None
+        self._scope: MetricsScope | None = None
+        if capture_metrics and tracer.metrics is not None:
+            self._scope = tracer.metrics.scoped()
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.start_s = tracer.clock.now
+        self._token = tracer._current.set(self)
+        if self._scope is not None:
+            self._scope.__enter__()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        tracer = self._tracer
+        self.end_s = tracer.clock.now
+        if self._scope is not None:
+            self._scope.__exit__()
+            self.counters = self._scope.delta
+        assert self._token is not None
+        parent = self._token.old_value
+        tracer._current.reset(self._token)
+        if isinstance(parent, Span):
+            parent.children.append(self)
+        else:
+            tracer.roots.append(self)
+        return False
+
+    # -- annotation --------------------------------------------------------
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach or overwrite attributes on this span."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, name: str, amount: float = 1) -> "Span":
+        """Accumulate a numeric attribute (e.g. retries within a call)."""
+        self.attrs[name] = self.attrs.get(name, 0) + amount
+        return self
+
+    # -- readings ----------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Inclusive simulated seconds (to 'now' while still open)."""
+        end = self.end_s if self.end_s is not None else self._tracer.clock.now
+        return end - self.start_s
+
+    @property
+    def self_s(self) -> float:
+        """Exclusive simulated seconds: inclusive minus child spans."""
+        return self.elapsed_s - sum(c.elapsed_s for c in self.children)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.elapsed_s:.6f}s, "
+                f"{len(self.children)} children)")
+
+
+class Tracer:
+    """Span factory and trace store for one simulated system.
+
+    Disabled by default; ``enable()`` before the work to trace.  An
+    optional ``max_spans`` bounds memory on very large runs — spans
+    beyond the cap are silently replaced by the no-op span and counted
+    in :attr:`dropped`.
+    """
+
+    def __init__(self, clock: SimulatedClock,
+                 metrics: MetricsCollector | None = None,
+                 enabled: bool = False,
+                 max_spans: int | None = None) -> None:
+        self.clock = clock
+        self.metrics = metrics
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self.span_count = 0
+        self._current: contextvars.ContextVar[Span | None] = \
+            contextvars.ContextVar(f"repro_trace_{next(_tracer_ids)}",
+                                   default=None)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self) -> "Tracer":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        return self
+
+    def clear(self) -> None:
+        """Drop all recorded spans (the enabled flag is unchanged)."""
+        self.roots.clear()
+        self.dropped = 0
+        self.span_count = 0
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, /, capture_metrics: bool = False,
+             **attrs: object):
+        """Open a span (context manager).  No-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        if self.max_spans is not None and self.span_count >= self.max_spans:
+            self.dropped += 1
+            return NOOP_SPAN
+        self.span_count += 1
+        return Span(self, name, attrs, capture_metrics)
+
+    def current(self):
+        """The innermost open span, or the no-op span when none/disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        span = self._current.get()
+        return span if span is not None else NOOP_SPAN
+
+    # -- reading -----------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every finished span, depth-first over all roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in start order."""
+        return [s for s in self.iter_spans() if s.name == name]

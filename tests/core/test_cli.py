@@ -19,7 +19,7 @@ class TestParser:
 
         assert set(COMMANDS) == {
             "power", "dbsize", "loading", "plan-trap", "aggregation",
-            "caching", "warehouse", "eis", "lint",
+            "caching", "warehouse", "eis", "lint", "trace", "bench-diff",
         }
 
 
@@ -41,3 +41,48 @@ class TestCommands:
     def test_aggregation_runs(self, capsys):
         assert main(["aggregation", "--sf", "0.0005"]) == 0
         assert "match=True" in capsys.readouterr().out
+
+    def test_trace_text_runs(self, capsys):
+        assert main(["trace", "power", "--sf", "0.0005", "--no-updates",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "App-server s" in out and "DBIF s" in out
+        assert "Top 3 operators" in out
+
+    def test_trace_json_parses(self, capsys):
+        import json
+
+        assert main(["trace", "power", "--sf", "0.0005", "--no-updates",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-power-trace-v1"
+        for variant in ("rdbms", "native", "open"):
+            analysis = document["variants"][variant]["analysis"]
+            assert len(analysis["queries"]) == 17
+
+    def test_trace_rejects_unknown_target(self, capsys):
+        assert main(["trace", "dbsize"]) == 2
+
+    def test_chrome_format_is_trace_only(self, capsys):
+        assert main(["lint", "--format", "chrome"]) == 2
+
+    def test_bench_diff(self, tmp_path, capsys):
+        import json
+
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps({
+            "name": "bench_x", "stats": {"mean": 2.0},
+            "extra_info": {"simulated_s": 100.0},
+        }))
+        b.write_text(json.dumps({
+            "name": "bench_x", "stats": {"mean": 1.0},
+            "extra_info": {"simulated_s": 150.0, "extra": 1},
+        }))
+        assert main(["bench-diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "extra_info.simulated_s" in out and "+50.0%" in out
+        assert "B only" in out
+
+    def test_bench_diff_needs_two_files(self, capsys):
+        assert main(["bench-diff"]) == 2

@@ -44,3 +44,29 @@ class TestMetricsCollector:
         metrics.count("a")
         metrics.reset()
         assert metrics.all() == {}
+
+    def test_delta_reports_reset_counters(self):
+        metrics = MetricsCollector()
+        metrics.count("a", 3)
+        metrics.count("b", 1)
+        snap = metrics.snapshot()
+        metrics.reset()
+        metrics.count("b", 1)
+        # 'a' vanished entirely, 'b' is back at its old value
+        assert snap.delta() == {"a": -3}
+        assert snap.get("a") == -3
+
+
+class TestMetricsScope:
+    def test_scoped_freezes_delta_at_exit(self):
+        metrics = MetricsCollector()
+        metrics.count("before", 5)
+        with metrics.scoped() as scope:
+            metrics.count("inside", 2)
+            assert scope.get("inside") == 2
+        metrics.count("after", 9)
+        assert scope.delta == {"inside": 2}
+
+    def test_scope_before_enter_is_empty(self):
+        scope = MetricsCollector().scoped()
+        assert scope.delta == {} and scope.get("x") == 0

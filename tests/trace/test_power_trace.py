@@ -1,0 +1,74 @@
+"""End-to-end: tracing the power test.
+
+Two guarantees worth a slow test: the per-layer decomposition sums to
+the measured total for every query, and enabling tracing changes the
+simulated result by exactly zero ticks.
+"""
+
+import pytest
+
+from repro.core.powertest import run_power_test
+from repro.r3.appserver import R3Version
+from repro.tpcd.dbgen import generate
+from repro.trace import TraceAnalyzer
+
+SF = 0.0005
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    return generate(SF)
+
+
+@pytest.fixture(scope="module")
+def traced_result(tiny_data):
+    return run_power_test(SF, R3Version.V30, variants=("rdbms", "open"),
+                          include_updates=False, data=tiny_data,
+                          tracing=True)
+
+
+class TestLayerSums:
+    def test_layers_sum_to_total_per_query(self, traced_result):
+        for variant in ("rdbms", "open"):
+            analyzer = TraceAnalyzer(traced_result.traces[variant])
+            breakdowns = analyzer.query_breakdowns()
+            assert len(breakdowns) == 17
+            for b in breakdowns:
+                assert b.app_s + b.dbif_s + b.engine_s == \
+                    pytest.approx(b.total_s, abs=1e-9), b.name
+                assert b.total_s == \
+                    pytest.approx(traced_result.times[variant][b.name])
+
+    def test_open_sql_goes_through_dbif(self, traced_result):
+        analyzer = TraceAnalyzer(traced_result.traces["open"])
+        totals = analyzer._totals(analyzer.query_breakdowns())
+        assert totals["dbif_s"] > 0
+        assert totals["roundtrips"] > 17  # nested selects ship many calls
+        assert totals["engine_s"] > 0
+        assert 0 < totals["disk_s"] <= totals["total_s"]
+
+    def test_rdbms_variant_has_no_dbif_layer(self, traced_result):
+        analyzer = TraceAnalyzer(traced_result.traces["rdbms"])
+        for b in analyzer.query_breakdowns():
+            assert b.dbif_s == 0 and b.dbif_calls == 0
+            assert b.engine_s > 0
+
+    def test_operator_profiles_present(self, traced_result):
+        for variant in ("rdbms", "open"):
+            ops = TraceAnalyzer(traced_result.traces[variant]) \
+                .top_operators(5)
+            assert ops, variant
+            assert all(op.exclusive_s >= 0 for op in ops)
+            assert any(op.rows_out > 0 for op in ops)
+
+
+class TestZeroOverhead:
+    def test_tracing_changes_simulated_time_by_zero_ticks(
+            self, tiny_data, traced_result):
+        untraced = run_power_test(SF, R3Version.V30,
+                                  variants=("rdbms", "open"),
+                                  include_updates=False, data=tiny_data)
+        assert untraced.traces == {}
+        for variant in ("rdbms", "open"):
+            assert untraced.times[variant] == \
+                traced_result.times[variant]  # exact, not approx

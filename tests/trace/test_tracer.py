@@ -1,0 +1,147 @@
+"""Tracer core: nesting, clock readings, disabled mode, metrics capture."""
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.metrics import MetricsCollector
+from repro.trace import NOOP_SPAN, Tracer
+
+
+def make_tracer(enabled=True, **kwargs):
+    clock = SimulatedClock()
+    metrics = MetricsCollector()
+    return Tracer(clock, metrics, enabled=enabled, **kwargs), clock, metrics
+
+
+class TestNesting:
+    def test_parent_child_tree_and_ordering(self):
+        tracer, clock, _ = make_tracer()
+        with tracer.span("outer"):
+            clock.charge(1.0)
+            with tracer.span("first"):
+                clock.charge(2.0)
+            with tracer.span("second"):
+                clock.charge(3.0)
+            clock.charge(0.5)
+        assert [s.name for s in tracer.iter_spans()] == \
+            ["outer", "first", "second"]
+        outer, = tracer.roots
+        assert [c.name for c in outer.children] == ["first", "second"]
+        assert outer.elapsed_s == 6.5
+        assert outer.children[0].elapsed_s == 2.0
+        assert outer.children[1].elapsed_s == 3.0
+        # exclusive = inclusive minus children
+        assert outer.self_s == 1.5
+
+    def test_start_end_are_clock_readings(self):
+        tracer, clock, _ = make_tracer()
+        clock.charge(10.0)
+        with tracer.span("s"):
+            clock.charge(4.0)
+        span, = tracer.roots
+        assert span.start_s == 10.0 and span.end_s == 14.0
+
+    def test_sibling_roots(self):
+        tracer, clock, _ = make_tracer()
+        with tracer.span("a"):
+            clock.charge(1.0)
+        with tracer.span("b"):
+            clock.charge(1.0)
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_current_is_innermost(self):
+        tracer, _, _ = make_tracer()
+        assert tracer.current() is NOOP_SPAN
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is NOOP_SPAN
+
+    def test_two_tracers_do_not_interleave(self):
+        t1, clock1, _ = make_tracer()
+        t2, _, _ = make_tracer()
+        with t1.span("one"):
+            with t2.span("two"):
+                clock1.charge(1.0)
+        assert [s.name for s in t1.iter_spans()] == ["one"]
+        assert [s.name for s in t2.iter_spans()] == ["two"]
+
+    def test_span_closed_on_exception(self):
+        tracer, clock, _ = make_tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    clock.charge(1.0)
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        outer, = tracer.roots
+        assert outer.end_s is not None
+        assert outer.children[0].end_s is not None
+        assert tracer.current() is NOOP_SPAN
+
+
+class TestDisabledMode:
+    def test_disabled_returns_shared_noop(self):
+        tracer, _, _ = make_tracer(enabled=False)
+        span = tracer.span("anything", attr=1)
+        assert span is NOOP_SPAN
+        assert tracer.span("other") is span  # no allocation per call
+        with span as entered:
+            entered.set(x=1).add("y", 2)
+        assert tracer.roots == [] and tracer.span_count == 0
+
+    def test_enable_disable_roundtrip(self):
+        tracer, clock, _ = make_tracer(enabled=False)
+        tracer.enable()
+        with tracer.span("s"):
+            clock.charge(1.0)
+        tracer.disable()
+        assert tracer.span("t") is NOOP_SPAN
+        assert [s.name for s in tracer.roots] == ["s"]
+
+    def test_max_spans_drops_and_counts(self):
+        tracer, _, _ = make_tracer(max_spans=2)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.span("c") is NOOP_SPAN
+        assert tracer.dropped == 1 and tracer.span_count == 2
+
+
+class TestAnnotations:
+    def test_set_and_add(self):
+        tracer, _, _ = make_tracer()
+        with tracer.span("s", fixed=1) as span:
+            span.set(rows=10)
+            span.add("retries")
+            span.add("retries", 2)
+        assert span.attrs == {"fixed": 1, "rows": 10, "retries": 3}
+
+    def test_capture_metrics_delta(self):
+        tracer, _, metrics = make_tracer()
+        metrics.count("pages", 100)
+        with tracer.span("q", capture_metrics=True):
+            metrics.count("pages", 7)
+            metrics.count("rows", 3)
+        span, = tracer.roots
+        assert span.counters == {"pages": 7, "rows": 3}
+
+    def test_no_capture_means_no_counters(self):
+        tracer, _, metrics = make_tracer()
+        with tracer.span("q"):
+            metrics.count("pages", 7)
+        span, = tracer.roots
+        assert span.counters == {}
+
+    def test_find_and_clear(self):
+        tracer, _, _ = make_tracer()
+        with tracer.span("x"):
+            with tracer.span("y"):
+                pass
+        with tracer.span("y"):
+            pass
+        assert len(tracer.find("y")) == 2
+        tracer.clear()
+        assert tracer.roots == [] and tracer.span_count == 0
