@@ -1,0 +1,89 @@
+"""Robustness: multi-user overload through the dispatcher.
+
+The paper's configuration multiplexes all users over a fixed
+work-process pool behind a dispatcher queue; under overload that queue
+— not the database — saturates first.  This bench sweeps stream counts
+across the none/light/heavy chaos profiles on a constrained pool
+(4 dialog processes, bounded queue) and reports
+
+* queries/hour per (streams, profile) cell and where throughput
+  saturates (the stream count past which q/h stops growing),
+* shed/reject rates and queue-wait totals as overload sets in,
+* that the chaos invariants hold in every cell: conservation, breaker
+  recovery after the storm, monotone degradation in fault severity.
+
+Scale factor is reduced so the sweep stays minutes, not hours;
+override with REPRO_CHAOS_SF.
+"""
+
+import os
+
+from repro.core.results import render_table
+from repro.sim.chaos import run_chaos
+from repro.tpcd.dbgen import generate
+
+CHAOS_SF = float(os.environ.get("REPRO_CHAOS_SF", "0.001"))
+STREAM_COUNTS = (2, 4, 8, 16)
+PROFILES = ("none", "light", "heavy")
+
+
+def test_robustness_overload(benchmark):
+    data = generate(CHAOS_SF)
+
+    report = benchmark.pedantic(
+        lambda: run_chaos(scale_factor=CHAOS_SF,
+                          stream_counts=STREAM_COUNTS,
+                          profiles=PROFILES, data=data),
+        rounds=1, iterations=1)
+
+    print()
+    print(report.render())
+
+    # Saturation: the smallest stream count whose fault-free q/h is
+    # within 2% of the best observed (more streams past the pool size
+    # only deepen the queue, they cannot add throughput).
+    qph = {s: report.cell(s, "none").queries_per_hour
+           for s in STREAM_COUNTS}
+    best = max(qph.values())
+    saturation = min(s for s in STREAM_COUNTS if qph[s] >= 0.98 * best)
+
+    shed_rows = []
+    for streams in STREAM_COUNTS:
+        heavy = report.cell(streams, "heavy")
+        shed_rows.append([
+            streams,
+            f"{qph[streams]:,.0f}",
+            f"{heavy.queries_per_hour:,.0f}",
+            f"{heavy.shed / max(1, heavy.submitted):.0%}",
+            f"{heavy.rejected}",
+            f"{report.cell(streams, 'none').queue_wait_s:,.0f}",
+        ])
+    print()
+    print(render_table(
+        ["S", "q/h none", "q/h heavy", "heavy shed", "heavy rej",
+         "queue wait s"],
+        shed_rows,
+        title=f"Overload sweep at SF={CHAOS_SF} "
+              f"(4 dialog processes, saturation at S={saturation})"))
+
+    benchmark.extra_info["scale_factor"] = CHAOS_SF
+    benchmark.extra_info["saturation_streams"] = saturation
+    benchmark.extra_info["qph_by_streams_none"] = {
+        str(s): round(qph[s], 1) for s in STREAM_COUNTS}
+    for streams in STREAM_COUNTS:
+        heavy = report.cell(streams, "heavy")
+        benchmark.extra_info[f"heavy_shed_rate_s{streams}"] = round(
+            heavy.shed / max(1, heavy.submitted), 4)
+        benchmark.extra_info[f"rejected_s{streams}"] = \
+            report.cell(streams, "none").rejected
+    benchmark.extra_info["invariant_violations"] = list(report.violations)
+
+    # Acceptance: every chaos invariant holds in every cell.
+    assert report.ok, report.violations
+    # Overload really bites: past the pool size the bounded queue
+    # rejects work, and heavy storms shed most of it.
+    assert report.cell(16, "none").rejected > 0
+    assert report.cell(16, "heavy").shed > 0
+    # Throughput saturates at or past the pool size, never before the
+    # pool is full.
+    assert saturation >= 4

@@ -20,9 +20,15 @@ the static analyzer over the report sources:
 
     python -m repro lint --format=json
 
-and the benchmark-result differ:
+the benchmark-result differ:
 
     python -m repro bench-diff BENCH_old.json BENCH_new.json
+
+and the chaos harness (dispatcher-scheduled throughput under fault
+storms; exits 1 if any robustness invariant is violated):
+
+    python -m repro chaos --streams 4 --profile light --sf 0.001
+    python -m repro chaos --streams 2,4,8 --profile all --chaos-out chaos.json
 """
 
 from __future__ import annotations
@@ -142,6 +148,44 @@ def cmd_trace(args) -> int:
     return run_trace_command(args)
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.sim.chaos import CHAOS_PROFILES, run_chaos
+
+    if args.format == "chrome":
+        print("chaos: --format=chrome is only valid for 'trace'",
+              file=sys.stderr)
+        return 2
+    try:
+        stream_counts = tuple(
+            int(part) for part in args.streams.split(",") if part.strip())
+    except ValueError:
+        print(f"chaos: bad --streams value {args.streams!r} "
+              f"(expected e.g. '4' or '2,4,8')", file=sys.stderr)
+        return 2
+    if not stream_counts or any(s < 1 for s in stream_counts):
+        print(f"chaos: --streams must list positive integers: "
+              f"{args.streams!r}", file=sys.stderr)
+        return 2
+    profiles = (tuple(sorted(CHAOS_PROFILES, key=("none", "light",
+                                                  "heavy").index))
+                if args.profile == "all" else (args.profile,))
+    report = run_chaos(scale_factor=args.sf, stream_counts=stream_counts,
+                       profiles=profiles)
+    payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    if args.chaos_out:
+        with open(args.chaos_out, "w") as handle:
+            handle.write(payload + "\n")
+    if args.format == "json":
+        print(payload)
+    else:
+        print(report.render())
+        if args.chaos_out:
+            print(f"report written to {args.chaos_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_bench_diff(args) -> int:
     from repro.core.benchdiff import run_bench_diff
 
@@ -157,6 +201,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "lint": cmd_lint,
     "bench-diff": cmd_bench_diff,
+    "chaos": cmd_chaos,
     "dbsize": cmd_dbsize,
     "loading": cmd_loading,
     "plan-trap": cmd_plan_trap,
@@ -204,6 +249,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--lint-scale", type=float, default=1.0,
                       help="scale factor for lint cost estimates "
                            "(default 1.0 — the paper's installation)")
+    chaos = parser.add_argument_group("chaos")
+    chaos.add_argument("--streams", default="2,4,8",
+                       help="comma-separated stream counts to sweep "
+                            "(default 2,4,8)")
+    chaos.add_argument("--profile",
+                       choices=["none", "light", "heavy", "all"],
+                       default="all",
+                       help="fault profile(s) to sweep (default all)")
+    chaos.add_argument("--chaos-out", default=None,
+                       help="also write the JSON chaos report to this "
+                            "file")
     return parser
 
 

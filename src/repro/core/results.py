@@ -54,6 +54,15 @@ ROBUSTNESS_COUNTERS = [
     ("batchinput.rollbacks", "Batch rollbacks", "count"),
     ("batchinput.journal_resumes", "Journal resumes", "count"),
     ("recovery.rows_rolled_back", "Rows rolled back", "count"),
+    ("dispatcher.rejected", "Dispatcher admissions rejected", "count"),
+    ("dispatcher.shed", "Dispatcher requests shed", "count"),
+    ("dispatcher.shed_lowprio", "Low-priority requests shed", "count"),
+    ("dispatcher.deadline_shed", "Queue-wait deadline sheds", "count"),
+    ("dispatcher.requeued", "Crash requeues", "count"),
+    ("dispatcher.wp_restarts", "Work processes restarted", "count"),
+    ("dispatcher.queue_wait_s", "Dispatcher queue wait", "duration"),
+    ("dbif.breaker.open", "Circuit breaker opened", "count"),
+    ("dbif.breaker.fast_fails", "Breaker fast-fails", "count"),
 ]
 
 

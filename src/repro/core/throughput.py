@@ -6,12 +6,23 @@ executing all 17 queries in a stream-specific permutation, while an
 update stream applies UF1/UF2 pairs.  This extension implements it on
 the simulator.
 
-Concurrency model: the paper's configuration is a single machine, so
-streams time-share it.  The simulated clock is serial; we interleave
-the streams query-by-query (round-robin), which is what a fair
-scheduler converges to, and report the spec's metric shape::
+Concurrency model: the paper's configuration is a single machine whose
+app server multiplexes users over a fixed work-process pool behind a
+dispatcher queue — so the streams are scheduled *through* a simulated
+:class:`~repro.r3.dispatcher.Dispatcher`.  Each stream is a closed
+loop: it submits its next query as soon as the previous one resolves;
+the dispatcher admits it (or rejects it at a full queue), rolls it
+into a free work process and serves it on the shared simulated clock.
+The spec's metric shape is reported as::
 
-    throughput ~ (S * 17 * 3600) / elapsed_seconds   [queries/hour]
+    throughput ~ (completed * 3600) / elapsed_seconds   [queries/hour]
+
+With an unconstrained pool (the default: pool ≥ S, unbounded-enough
+queue, zero roll costs) the schedule degenerates to exactly the fair
+round-robin interleaving of the pre-dispatcher implementation — same
+clock ticks, same per-query times.  Constrained pools add queue waits;
+bounded queues add rejections; fault profiles add shed queries and
+crash requeues — all recorded per stream in :class:`ThroughputResult`.
 
 Interleaving is not a no-op: later streams find the buffer pool and
 cursor cache warm, which is exactly the effect a throughput test adds
@@ -22,8 +33,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.r3.dispatcher import (
+    PRIORITY_UPDATE,
+    Dispatcher,
+    DispatcherConfig,
+    Request,
+)
+from repro.r3.errors import DispatcherOverload
+
 # The TPC-D ordering rules give each stream its own permutation; these
-# are the spec's first eight (trimmed to Q1-Q17).
+# are the spec's first eight (trimmed to Q1-Q17).  Streams beyond the
+# eighth cycle through them with a per-cycle rotation (stream 8 runs
+# permutation 0 rotated by one position, stream 16 by two, ...), so
+# any stream count gets a distinct, deterministic ordering.
 _STREAM_PERMUTATIONS = [
     [14, 2, 9, 17, 5, 7, 12, 8, 16, 13, 3, 6, 10, 15, 4, 11, 1],
     [1, 3, 13, 16, 10, 2, 15, 14, 17, 7, 8, 12, 6, 9, 11, 4, 5],
@@ -36,14 +58,47 @@ _STREAM_PERMUTATIONS = [
 ]
 
 
+def stream_permutation(stream: int) -> list[int]:
+    """The query ordering for ``stream`` (any non-negative index)."""
+    if stream < 0:
+        raise ValueError(f"stream must be >= 0: {stream}")
+    base = _STREAM_PERMUTATIONS[stream % len(_STREAM_PERMUTATIONS)]
+    cycle = stream // len(_STREAM_PERMUTATIONS)
+    rotation = cycle % len(base)
+    return base[rotation:] + base[:rotation]
+
+
+@dataclass
+class StreamStats:
+    """Per-stream dispatcher accounting for one throughput run."""
+
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    requeued: int = 0
+    queue_wait_s: float = 0.0
+
+    @property
+    def resolved(self) -> int:
+        return self.completed + self.shed + self.rejected
+
+
 @dataclass
 class ThroughputResult:
     streams: int
     scale_factor: float
     elapsed_s: float
-    #: (stream, query name) -> simulated seconds
+    #: (stream, query name) -> simulated service seconds (completed only)
     per_query: dict[tuple[int, str], float] = field(default_factory=dict)
     update_s: float = 0.0
+    #: stream index -> dispatcher accounting
+    per_stream: dict[int, StreamStats] = field(default_factory=dict)
+    updates_submitted: int = 0
+    updates_run: int = 0
+    updates_shed: int = 0
+    #: shed-reason class -> count (e.g. ``CircuitOpenError``)
+    shed_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def queries_run(self) -> int:
@@ -55,11 +110,51 @@ class ThroughputResult:
             return float("inf")
         return self.queries_run * 3600.0 / self.elapsed_s
 
+    # -- dispatcher aggregates ----------------------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return sum(s.submitted for s in self.per_stream.values())
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.per_stream.values())
+
+    @property
+    def shed(self) -> int:
+        return sum(s.shed for s in self.per_stream.values())
+
+    @property
+    def rejected(self) -> int:
+        return sum(s.rejected for s in self.per_stream.values())
+
+    @property
+    def requeued(self) -> int:
+        return sum(s.requeued for s in self.per_stream.values())
+
+    @property
+    def queue_wait_s(self) -> float:
+        return sum(s.queue_wait_s for s in self.per_stream.values())
+
+    def conservation_ok(self) -> bool:
+        """No query lost, none double-counted: per stream and overall,
+        submitted == completed + shed + rejected (and likewise for the
+        update stream)."""
+        for stats in self.per_stream.values():
+            if stats.submitted != stats.resolved:
+                return False
+        if self.completed != self.queries_run:
+            return False
+        return self.updates_submitted == self.updates_run + self.updates_shed
+
     def stream_elapsed(self, stream: int) -> float:
         return sum(
             seconds for (s, _name), seconds in self.per_query.items()
             if s == stream
         )
+
+    def stream_queue_wait(self, stream: int) -> float:
+        return self.per_stream[stream].queue_wait_s
 
 
 def run_throughput_test(
@@ -67,45 +162,122 @@ def run_throughput_test(
     suite: dict[int, object],
     streams: int = 2,
     update_sets: list[tuple] | None = None,
+    dispatcher: Dispatcher | DispatcherConfig | None = None,
 ) -> ThroughputResult:
-    """Run ``streams`` interleaved query streams on one SAP system.
+    """Run ``streams`` query streams through the dispatcher.
 
     ``suite`` is a report suite from e.g. ``open30.make_queries(sf)``.
     ``update_sets`` is a list of ``(refresh_data, delete_orderkeys)``
     pairs (one distinct pair per update-stream slot, as the spec
-    requires); a pair is consumed after each full round-robin round.
+    requires); one pair is submitted — at low priority, sheddable
+    under queue pressure — after each full round of resolved dialog
+    steps.
+
+    ``dispatcher`` may be a ready :class:`Dispatcher`, a
+    :class:`DispatcherConfig`, or ``None`` for the identity-preserving
+    unconstrained default (pool ≥ S, zero roll costs: tick-for-tick
+    the old round-robin schedule).
     """
-    if not 1 <= streams <= len(_STREAM_PERMUTATIONS):
-        raise ValueError(
-            f"streams must be 1..{len(_STREAM_PERMUTATIONS)}"
-        )
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1: {streams}")
+    if dispatcher is None:
+        disp = Dispatcher(r3, DispatcherConfig.unconstrained(streams))
+    elif isinstance(dispatcher, DispatcherConfig):
+        disp = Dispatcher(r3, dispatcher)
+    else:
+        disp = dispatcher
     result = ThroughputResult(streams=streams, scale_factor=0.0,
                               elapsed_s=0.0)
-    pending_updates = list(update_sets or [])
+    result.per_stream = {s: StreamStats() for s in range(streams)}
+    permutations = [stream_permutation(s) for s in range(streams)]
+    length = len(permutations[0])
     positions = [0] * streams
-    total_span = r3.measure()
-    step = 0
-    while any(pos < 17 for pos in positions):
-        stream = step % streams
-        step += 1
-        pos = positions[stream]
-        if pos >= 17:
-            continue
-        number = _STREAM_PERMUTATIONS[stream][pos]
-        span = r3.measure()
-        suite[number](r3)
-        result.per_query[(stream, f"Q{number}")] = span.stop()
-        positions[stream] += 1
-        # After each full round, the update stream gets a slot.
-        if pending_updates and step % streams == 0:
+    waiting = [False] * streams
+    pending_updates = list(update_sets or [])
+    updates_taken = 0
+    resolved_steps = 0
+
+    def note_shed(reason: str | None) -> None:
+        key = (reason or "unknown").split(":")[0].strip()
+        result.shed_reasons[key] = result.shed_reasons.get(key, 0) + 1
+
+    def query_request(stream: int) -> Request:
+        number = permutations[stream][positions[stream]]
+        return Request(stream=stream, label=f"Q{number}",
+                       fn=lambda n=number: suite[n](r3))
+
+    def update_request(index: int, pair: tuple) -> Request:
+        refresh, doomed = pair
+
+        def body() -> None:
             from repro.reports.updatefuncs import run_uf1_sap, run_uf2_sap
 
-            refresh, doomed = pending_updates.pop(0)
-            span = r3.measure()
             if refresh is not None:
                 run_uf1_sap(r3, refresh)
             if doomed:
                 run_uf2_sap(r3, doomed)
-            result.update_s += span.stop()
+
+        return Request(stream=-1, label=f"UF-pair-{index}", fn=body,
+                       priority=PRIORITY_UPDATE)
+
+    total_span = r3.measure()
+    while True:
+        # 1. Submission: every idle stream offers its next query.  A
+        # rejected query resolves on the spot (the "user" moves on);
+        # one attempt per stream per round bounds the reject rate.
+        for stream in range(streams):
+            if waiting[stream] or positions[stream] >= length:
+                continue
+            stats = result.per_stream[stream]
+            stats.submitted += 1
+            try:
+                disp.submit(query_request(stream))
+                waiting[stream] = True
+            except DispatcherOverload:
+                stats.rejected += 1
+                positions[stream] += 1
+                resolved_steps += 1
+        # 2. Dispatch: roll queued requests into idle work processes.
+        for comp in disp.dispatch_round():
+            request = comp.request
+            if request.stream < 0:
+                if comp.kind == "completed":
+                    result.updates_run += 1
+                    result.update_s += comp.service_s
+                elif comp.kind == "shed":
+                    result.updates_shed += 1
+                    note_shed(comp.reason)
+                continue  # "requeued" stays in the queue
+            stats = result.per_stream[request.stream]
+            if comp.kind == "requeued":
+                stats.requeued += 1
+                continue
+            stats.queue_wait_s += comp.queue_wait_s
+            if comp.kind == "completed":
+                stats.completed += 1
+                result.per_query[(request.stream, request.label)] = \
+                    comp.service_s
+            else:
+                stats.shed += 1
+                note_shed(comp.reason)
+            positions[request.stream] += 1
+            waiting[request.stream] = False
+            resolved_steps += 1
+        # 3. Update slot: after each full round of resolved dialog
+        # steps the update stream gets one (sheddable) slot.
+        if pending_updates and updates_taken < resolved_steps // streams:
+            pair = pending_updates.pop(0)
+            req = update_request(updates_taken, pair)
+            updates_taken += 1
+            result.updates_submitted += 1
+            try:
+                disp.submit(req)
+            except DispatcherOverload as exc:
+                result.updates_shed += 1
+                note_shed(f"admission {type(exc).__name__}")
+        # 4. Done when every stream ran dry and the queue drained.
+        if disp.queue_depth == 0 \
+                and all(pos >= length for pos in positions):
+            break
     result.elapsed_s = total_span.stop()
     return result

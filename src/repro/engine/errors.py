@@ -40,6 +40,16 @@ class StatementTimeout(TransientError):
     """A statement/query exceeded its simulated-time deadline."""
 
 
+class CircuitOpenError(TransientError):
+    """The DBIF circuit breaker is open: the call failed fast.
+
+    Raised instead of attempting a round trip while the breaker cools
+    down after a fault storm, so a dead backend sheds load immediately
+    rather than dragging every caller through the full retry/backoff
+    ladder.  Transient by definition — the breaker half-opens once its
+    cooldown elapses."""
+
+
 # -- permanent branch -------------------------------------------------------
 
 class SqlSyntaxError(PermanentError):

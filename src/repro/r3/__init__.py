@@ -12,6 +12,8 @@ Models the pieces of R/3 the paper's measurements depend on:
   EXTRACT/SORT/LOOP AT END grouping (:mod:`repro.r3.abap`),
 * application-server table buffers (:mod:`repro.r3.buffers`),
 * the batch-input facility (:mod:`repro.r3.batchinput`),
+* the dispatcher and work-process pool with admission control
+  (:mod:`repro.r3.dispatcher`, :mod:`repro.r3.workproc`),
 * the 2.2G → 3.0E upgrade (:mod:`repro.r3.upgrade`).
 """
 

@@ -19,14 +19,133 @@ consecutive failures does the loss propagate, chained to the injected
 fault.  A per-statement timeout (``statement_timeout_s``) arms a clock
 deadline around execution and raises ``StatementTimeout`` with the
 partial cost already charged.
+
+A :class:`CircuitBreaker` guards the whole interface: when several
+consecutive calls still fail *after* the retry ladder (a fault storm —
+the backend is down, not hiccuping), the breaker opens and every
+subsequent call fails fast with :class:`CircuitOpenError` instead of
+walking one caller after another through the full backoff sequence
+into the same dead backend.  After a cooldown of simulated time the
+breaker half-opens and lets a probe through; a successful probe closes
+it again.  On the happy path the breaker costs zero simulated ticks.
 """
 
 from __future__ import annotations
 
+import enum
 from typing import Sequence
 
 from repro.engine.database import PreparedStatement, Result
-from repro.engine.errors import ConnectionLostError, StatementTimeout
+from repro.engine.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    StatementTimeout,
+    TransientError,
+)
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine over DBIF calls.
+
+    *Closed*: calls flow; ``failure_threshold`` consecutive post-retry
+    failures open the breaker.  *Open*: calls raise
+    :class:`CircuitOpenError` immediately (no round trip, no backoff)
+    until ``cooldown_s`` simulated seconds have passed.  *Half-open*:
+    calls are let through as probes; ``halfopen_probes`` consecutive
+    successes close the breaker, any failure reopens it with a fresh
+    cooldown.  Statement timeouts are **not** failures — a slow query
+    says nothing about the backend being down.
+
+    Transitions count ``dbif.breaker.*`` metrics and emit a
+    ``dbif.breaker`` trace span so a trace shows exactly when the
+    breaker flipped relative to the workload.
+    """
+
+    def __init__(self, clock, metrics, tracer=None,
+                 failure_threshold: int = 3, cooldown_s: float = 30.0,
+                 halfopen_probes: int = 1) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0: {cooldown_s}")
+        if halfopen_probes < 1:
+            raise ValueError(
+                f"halfopen_probes must be >= 1: {halfopen_probes}")
+        self._clock = clock
+        self._metrics = metrics
+        self._tracer = tracer
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.halfopen_probes = halfopen_probes
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_count = 0
+        self._open_until = 0.0
+        self._probe_successes = 0
+
+    # -- call protocol -------------------------------------------------------
+
+    def before_call(self) -> None:
+        """Gate a DBIF call; raises ``CircuitOpenError`` while open."""
+        if self.state is BreakerState.CLOSED:
+            return
+        if self.state is BreakerState.OPEN:
+            if self._clock.now >= self._open_until:
+                self._transition(BreakerState.HALF_OPEN,
+                                 "cooldown elapsed")
+                self._probe_successes = 0
+                return
+            self._metrics.count("dbif.breaker.fast_fails")
+            raise CircuitOpenError(
+                f"circuit open for another "
+                f"{self._open_until - self._clock.now:.3f}s (simulated); "
+                f"call shed without a round trip")
+        # HALF_OPEN: let the probe through.
+
+    def record_success(self) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.halfopen_probes:
+                self._transition(BreakerState.CLOSED,
+                                 f"{self._probe_successes} probe(s) "
+                                 f"succeeded")
+                self.consecutive_failures = 0
+        elif self.state is BreakerState.CLOSED:
+            self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self._metrics.count("dbif.breaker.failures")
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(reason="half-open probe failed")
+        elif self.state is BreakerState.CLOSED:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= self.failure_threshold:
+                self._open(reason=f"{self.consecutive_failures} "
+                                  f"consecutive failures")
+
+    # -- transitions ---------------------------------------------------------
+
+    def _open(self, reason: str) -> None:
+        self._open_until = self._clock.now + self.cooldown_s
+        self.opened_count += 1
+        self._transition(BreakerState.OPEN, reason)
+
+    def _transition(self, new: BreakerState, reason: str) -> None:
+        old = self.state
+        self.state = new
+        self._metrics.count(f"dbif.breaker.{new.value}")
+        if self._tracer is not None:
+            with self._tracer.span("dbif.breaker",
+                                   transition=f"{old.value}->{new.value}",
+                                   reason=reason):
+                pass
 
 
 class DatabaseInterface:
@@ -37,6 +156,11 @@ class DatabaseInterface:
         self.cache_enabled = True
         #: simulated-seconds budget per statement (None = no timeout)
         self.statement_timeout_s: float | None = None
+        self.breaker = CircuitBreaker(
+            r3.clock, r3.metrics, tracer=r3.tracer,
+            failure_threshold=r3.params.breaker_failure_threshold,
+            cooldown_s=r3.params.breaker_cooldown_s,
+            halfopen_probes=r3.params.breaker_halfopen_probes)
 
     # -- parameterized path (Open SQL, cluster/pool physical reads) -------
 
@@ -45,22 +169,31 @@ class DatabaseInterface:
         """Round trip with a parameterized statement (plan cached)."""
         r3 = self._r3
         with r3.tracer.span("dbif.call", mode="param", sql=sql) as span:
-            attempts = self._roundtrip()
-            if use_cursor_cache and self.cache_enabled:
-                stmt = self._cursor_cache.get(sql)
-                if stmt is None:
-                    r3.metrics.count("dbif.cursor_cache_misses")
-                    stmt = r3.db.prepare(sql)
-                    self._cursor_cache[sql] = stmt
-                    span.set(cursor="miss")
+            self.breaker.before_call()
+            try:
+                attempts = self._roundtrip()
+                if use_cursor_cache and self.cache_enabled:
+                    stmt = self._cursor_cache.get(sql)
+                    if stmt is None:
+                        r3.metrics.count("dbif.cursor_cache_misses")
+                        stmt = r3.db.prepare(sql)
+                        self._cursor_cache[sql] = stmt
+                        span.set(cursor="miss")
+                    else:
+                        r3.metrics.count("dbif.cursor_cache_hits")
+                        span.set(cursor="hit")
                 else:
-                    r3.metrics.count("dbif.cursor_cache_hits")
-                    span.set(cursor="hit")
-            else:
-                r3.metrics.count("dbif.cursor_cache_bypassed")
-                stmt = r3.db.prepare(sql)
-                span.set(cursor="bypass")
-            result = self._execute_timed(sql, lambda: stmt.execute(params))
+                    r3.metrics.count("dbif.cursor_cache_bypassed")
+                    stmt = r3.db.prepare(sql)
+                    span.set(cursor="bypass")
+                result = self._execute_timed(
+                    sql, lambda: stmt.execute(params))
+            except StatementTimeout:
+                raise  # slow ≠ down: never trips the breaker
+            except TransientError:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
             self._charge_shipping(result)
             span.set(rows=len(result.rows), roundtrips=attempts)
             return result
@@ -73,9 +206,17 @@ class DatabaseInterface:
         to the optimizer."""
         r3 = self._r3
         with r3.tracer.span("dbif.call", mode="literal", sql=sql) as span:
-            attempts = self._roundtrip()
-            result = self._execute_timed(
-                sql, lambda: r3.db.execute(sql, params))
+            self.breaker.before_call()
+            try:
+                attempts = self._roundtrip()
+                result = self._execute_timed(
+                    sql, lambda: r3.db.execute(sql, params))
+            except StatementTimeout:
+                raise  # slow ≠ down: never trips the breaker
+            except TransientError:
+                self.breaker.record_failure()
+                raise
+            self.breaker.record_success()
             self._charge_shipping(result)
             span.set(rows=len(result.rows), roundtrips=attempts)
             return result

@@ -21,6 +21,22 @@ class BatchInputError(R3Error):
     """A batch-input transaction failed its consistency checks."""
 
 
+class DispatcherOverload(R3Error):
+    """The dispatcher refused a request at admission time.
+
+    Raised when the bounded dispatcher queue is full, or when a
+    low-priority request (the update stream) arrives while queue
+    occupancy is past the shed high-water mark.  ``shed`` distinguishes
+    the two: ``False`` means the queue was simply full (rejection),
+    ``True`` means admission control chose to shed the request to
+    protect dialog traffic.
+    """
+
+    def __init__(self, message: str, *, shed: bool = False) -> None:
+        super().__init__(message)
+        self.shed = shed
+
+
 class WorkProcessCrash(R3Error):
     """An injected app-server work-process crash.
 

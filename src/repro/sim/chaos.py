@@ -1,0 +1,293 @@
+"""Chaos harness: throughput under overload × fault storms.
+
+Darmont's benchmark survey stresses that *multi-user runs under
+saturation* — not single-stream power runs — are what expose a
+system's real robustness.  This harness sweeps stream counts × fault
+profiles over the dispatcher-scheduled throughput test and asserts the
+invariants that make the overload machinery trustworthy:
+
+1. **conservation** — per cell, every submitted query is accounted
+   for exactly once: ``submitted == completed + shed + rejected``
+   (no lost queries, no double counting, crash requeues included);
+2. **breaker recovery** — after the fault storm ends, the DBIF
+   circuit breaker returns to *closed* (a half-open probe after the
+   cooldown succeeds against the healthy backend);
+3. **monotone degradation** — at a fixed stream count, a strictly
+   heavier fault profile never yields *more* queries/hour.
+
+Everything is deterministic: seeded profiles, the simulated clock and
+a fresh system per cell mean a sweep's JSON report is bit-identical
+across runs — which is what lets CI assert on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.r3.dbif import BreakerState
+from repro.r3.dispatcher import DispatcherConfig
+from repro.sim.faults import FaultProfile
+
+#: Chaos fault profiles, tuned to the operation counts of the open30
+#: suite at small scale factors (~20 DBIF round trips and ~3000 disk
+#: ops per stream at SF 0.001).  ``light`` is retryable noise: every
+#: fault is absorbed by a retry ladder, the run completes with a time
+#: penalty.  ``heavy`` is a storm: connection-drop bursts longer than
+#: the DBIF retry budget trip the circuit breaker, work processes
+#: crash and the dispatcher sheds — the run degrades instead of dying.
+CHAOS_PROFILES: dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "light": FaultProfile(
+        name="chaos-light", seed=1996,
+        disk_error_every=300, connection_drop_every=25,
+        work_process_crash_every=30, jitter=0.2,
+    ),
+    "heavy": FaultProfile(
+        name="chaos-heavy", seed=1996,
+        disk_error_every=60, connection_drop_every=8,
+        connection_drop_burst=18, work_process_crash_every=12, jitter=0.2,
+    ),
+}
+
+#: severity rank used by the monotone-degradation invariant
+_SEVERITY = {"none": 0, "light": 1, "heavy": 2}
+
+
+def default_chaos_config() -> DispatcherConfig:
+    """The constrained pool the sweep runs against: 4 dialog processes,
+    a bounded queue and a queue-wait deadline, so stream counts past
+    the pool size actually contend."""
+    return DispatcherConfig(
+        dialog_processes=4,
+        update_processes=1,
+        queue_capacity=8,
+        queue_wait_deadline_s=120.0,
+        shed_highwater=0.75,
+    )
+
+
+@dataclass
+class ChaosCell:
+    """One (streams, profile) sweep cell and its invariant verdicts."""
+
+    streams: int
+    profile: str
+    elapsed_s: float = 0.0
+    queries_per_hour: float = 0.0
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    rejected: int = 0
+    requeued: int = 0
+    queue_wait_s: float = 0.0
+    updates_submitted: int = 0
+    updates_run: int = 0
+    updates_shed: int = 0
+    wp_restarts: int = 0
+    breaker_opened: int = 0
+    breaker_final: str = BreakerState.CLOSED.value
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    conserved: bool = True
+    breaker_recovered: bool = True
+
+    def to_json(self) -> dict:
+        return {
+            "streams": self.streams,
+            "profile": self.profile,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "queries_per_hour": round(self.queries_per_hour, 3),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "requeued": self.requeued,
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "updates": {
+                "submitted": self.updates_submitted,
+                "run": self.updates_run,
+                "shed": self.updates_shed,
+            },
+            "wp_restarts": self.wp_restarts,
+            "breaker": {
+                "opened": self.breaker_opened,
+                "final": self.breaker_final,
+                "recovered": self.breaker_recovered,
+            },
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "conserved": self.conserved,
+        }
+
+
+@dataclass
+class ChaosReport:
+    scale_factor: float
+    cells: list[ChaosCell] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def cell(self, streams: int, profile: str) -> ChaosCell:
+        for cell in self.cells:
+            if cell.streams == streams and cell.profile == profile:
+                return cell
+        raise KeyError(f"no cell ({streams}, {profile})")
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro-chaos-v1",
+            "scale_factor": self.scale_factor,
+            "cells": [cell.to_json() for cell in self.cells],
+            "violations": list(self.violations),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        from repro.core.results import render_table
+
+        rows = []
+        for cell in self.cells:
+            rows.append([
+                cell.streams, cell.profile,
+                f"{cell.queries_per_hour:,.0f}",
+                cell.completed, cell.shed, cell.rejected, cell.requeued,
+                f"{cell.queue_wait_s:.1f}",
+                cell.breaker_opened,
+                "ok" if (cell.conserved and cell.breaker_recovered)
+                else "VIOLATED",
+            ])
+        table = render_table(
+            ["S", "Profile", "q/h", "Done", "Shed", "Rej", "Requeue",
+             "Qwait s", "Brk", "Invariants"],
+            rows,
+            title=f"Chaos sweep at SF={self.scale_factor} "
+                  f"(dispatcher-scheduled throughput)")
+        if self.violations:
+            table += "\n\nInvariant violations:\n" + "\n".join(
+                f"  - {v}" for v in self.violations)
+        else:
+            table += ("\nAll invariants hold: conservation, breaker "
+                      "recovery, monotone degradation.")
+        return table
+
+
+def _severity(profile_name: str) -> int:
+    return _SEVERITY.get(profile_name, len(_SEVERITY))
+
+
+def run_chaos_cell(data, streams: int, profile: FaultProfile,
+                   scale_factor: float,
+                   config: DispatcherConfig | None = None,
+                   update_pairs: int = 2,
+                   name: str | None = None) -> ChaosCell:
+    """Run one (streams, profile) cell on a fresh system.
+
+    ``name`` is the sweep key recorded on the cell (defaults to the
+    profile's own name).
+    """
+    from repro.core.powertest import build_sap_system
+    from repro.core.throughput import run_throughput_test
+    from repro.r3.appserver import R3Version
+    from repro.reports import open30
+    from repro.tpcd.dbgen import delete_keys, generate_refresh_orders
+
+    r3 = build_sap_system(data, R3Version.V30)
+    suite = open30.make_queries(scale_factor)
+    # Disjoint keyspaces: each UF1 set gets its own order-key range so
+    # the pairs can be applied to the same database in sequence.
+    pair_size = max(1, round(len(data.orders) * 0.001))
+    update_sets = [
+        (generate_refresh_orders(
+            data, seed=123 + i,
+            start_key=data.max_orderkey + 1 + i * pair_size),
+         delete_keys(data, seed=321 + i))
+        for i in range(update_pairs)
+    ]
+    base = r3.metrics.snapshot()
+    r3.attach_faults(profile)
+    result = run_throughput_test(
+        r3, suite, streams=streams, update_sets=update_sets,
+        dispatcher=config or default_chaos_config())
+    r3.detach_faults()
+
+    breaker = r3.dbif.breaker
+    cell = ChaosCell(streams=streams, profile=name or profile.name)
+    cell.elapsed_s = result.elapsed_s
+    cell.queries_per_hour = result.queries_per_hour
+    cell.submitted = result.submitted
+    cell.completed = result.completed
+    cell.shed = result.shed
+    cell.rejected = result.rejected
+    cell.requeued = result.requeued
+    cell.queue_wait_s = result.queue_wait_s
+    cell.updates_submitted = result.updates_submitted
+    cell.updates_run = result.updates_run
+    cell.updates_shed = result.updates_shed
+    cell.shed_reasons = dict(result.shed_reasons)
+    cell.wp_restarts = int(base.get("dispatcher.wp_restarts"))
+    cell.breaker_opened = breaker.opened_count
+    cell.conserved = result.conservation_ok()
+
+    # Breaker recovery: the storm is over (faults detached).  If the
+    # breaker is not closed, wait out the cooldown on the simulated
+    # clock and send a probe — against the healthy backend it must
+    # succeed and re-close the breaker.
+    if breaker.state is not BreakerState.CLOSED:
+        r3.clock.charge(breaker.cooldown_s)
+        suite[1](r3)
+    cell.breaker_final = breaker.state.value
+    cell.breaker_recovered = breaker.state is BreakerState.CLOSED
+    return cell
+
+
+def run_chaos(
+    scale_factor: float = 0.001,
+    stream_counts: tuple[int, ...] = (2, 4, 8),
+    profiles: tuple[str, ...] = ("none", "light", "heavy"),
+    config: DispatcherConfig | None = None,
+    data=None,
+    update_pairs: int = 2,
+) -> ChaosReport:
+    """Sweep ``stream_counts`` × ``profiles`` and check the invariants."""
+    from repro.tpcd.dbgen import generate
+
+    unknown = [p for p in profiles if p not in CHAOS_PROFILES]
+    if unknown:
+        raise ValueError(f"unknown chaos profile(s): {unknown}; "
+                         f"choose from {sorted(CHAOS_PROFILES)}")
+    data = data if data is not None else generate(scale_factor)
+    report = ChaosReport(scale_factor=scale_factor)
+    for streams in stream_counts:
+        for name in profiles:
+            cell = run_chaos_cell(
+                data, streams, CHAOS_PROFILES[name], scale_factor,
+                config=config, update_pairs=update_pairs, name=name)
+            report.cells.append(cell)
+            if not cell.conserved:
+                report.violations.append(
+                    f"S={streams} {name}: conservation violated — "
+                    f"submitted {cell.submitted} != completed "
+                    f"{cell.completed} + shed {cell.shed} + rejected "
+                    f"{cell.rejected}")
+            if not cell.breaker_recovered:
+                report.violations.append(
+                    f"S={streams} {name}: breaker stuck "
+                    f"{cell.breaker_final!r} after the storm ended")
+    # Monotone degradation: within a stream count, heavier profiles
+    # must not complete more work per hour (tiny tolerance for float
+    # division noise).
+    for streams in stream_counts:
+        ranked = sorted(
+            (c for c in report.cells if c.streams == streams),
+            key=lambda c: _severity(c.profile))
+        for lighter, heavier in zip(ranked, ranked[1:]):
+            if heavier.queries_per_hour > lighter.queries_per_hour * (
+                    1 + 1e-9):
+                report.violations.append(
+                    f"S={streams}: {heavier.profile} yields "
+                    f"{heavier.queries_per_hour:,.1f} q/h > "
+                    f"{lighter.profile} "
+                    f"{lighter.queries_per_hour:,.1f} q/h — "
+                    f"degradation is not monotone")
+    return report

@@ -57,6 +57,8 @@ class FaultProfile:
     connection_drop_burst: int = 1
     #: work-process crashes at these absolute simulated times (seconds)
     crash_at_s: tuple[float, ...] = ()
+    #: work-process crash every ~N dispatched requests (pool workers)
+    work_process_crash_every: int | None = None
     #: relative interval spread, 0.0..0.9
     jitter: float = 0.0
 
@@ -97,9 +99,12 @@ class FaultInjector:
         self._rng = random.Random(profile.seed)
         self.disk_ops = 0
         self.roundtrips = 0
+        self.wp_requests = 0
         self._next_disk_fault = self._next_after(0, profile.disk_error_every)
         self._next_conn_fault = self._next_after(
             0, profile.connection_drop_every)
+        self._next_wp_crash = self._next_after(
+            0, profile.work_process_crash_every)
         self._conn_burst_left = 0
         self._crashes = sorted(profile.crash_at_s)
         self._crash_index = 0
@@ -155,6 +160,23 @@ class FaultInjector:
         from repro.engine.errors import ConnectionLostError
         raise ConnectionLostError(
             f"injected connection drop at round trip {self.roundtrips} "
+            f"(profile {self.profile.name!r})"
+        )
+
+    def on_wp_request(self) -> None:
+        """Called by the dispatcher once per request rolled into a
+        work process (at the transaction boundary, before any work, so
+        a crashed request can be requeued idempotently)."""
+        self.wp_requests += 1
+        if self._next_wp_crash is None \
+                or self.wp_requests < self._next_wp_crash:
+            return
+        self._next_wp_crash = self._next_after(
+            self.wp_requests, self.profile.work_process_crash_every)
+        self._metrics.count("faults.crashes_injected")
+        from repro.r3.errors import WorkProcessCrash
+        raise WorkProcessCrash(
+            f"injected work-process crash at request {self.wp_requests} "
             f"(profile {self.profile.name!r})"
         )
 

@@ -74,6 +74,23 @@ class SimParams:
     #: per-row undo cost when rolling back an uncommitted batch
     rollback_row_s: float = 0.002
 
+    # ---- dispatcher / work-process pool ----------------------------------
+    #: rolling a user context into a work process (paper §2: the app
+    #: server multiplexes many users over few work processes)
+    wp_rollin_s: float = 0.004
+    #: rolling the context back out after the dialog step
+    wp_rollout_s: float = 0.002
+    #: restarting a crashed work process before its request is requeued
+    wp_restart_s: float = 2.0
+
+    # ---- DBIF circuit breaker --------------------------------------------
+    #: consecutive DBIF failures (post-retry) before the breaker opens
+    breaker_failure_threshold: int = 3
+    #: simulated seconds the breaker stays open before half-open probing
+    breaker_cooldown_s: float = 30.0
+    #: successful half-open probes required to close the breaker again
+    breaker_halfopen_probes: int = 1
+
     def pages_for_bytes(self, byte_count: int) -> int:
         """Number of pages needed to hold ``byte_count`` bytes."""
         if byte_count <= 0:

@@ -260,9 +260,15 @@ def _generate_order(
 
 
 def generate_refresh_orders(
-    data: TpcdData, fraction: float = 0.001, seed: int = 424242
+    data: TpcdData, fraction: float = 0.001, seed: int = 424242,
+    start_key: int | None = None
 ) -> TpcdData:
-    """New orders/lineitems for UF1 (0.1 % of SF per the TPC-D spec)."""
+    """New orders/lineitems for UF1 (0.1 % of SF per the TPC-D spec).
+
+    ``start_key`` places the new order keys explicitly; harnesses that
+    apply several UF1 sets to one database (the throughput test's
+    update stream) use it to keep the sets' keyspaces disjoint.
+    """
     rng = random.Random(seed)
     refresh = TpcdData(scale_factor=data.scale_factor, seed=seed)
     n_new = max(1, round(len(data.orders) * fraction))
@@ -270,7 +276,8 @@ def generate_refresh_orders(
     n_parts = len(data.part)
     n_suppliers = len(data.supplier)
     date_span = (END_DATE - START_DATE).days
-    start_key = data.max_orderkey + 1
+    if start_key is None:
+        start_key = data.max_orderkey + 1
     for orderkey in range(start_key, start_key + n_new):
         _generate_order(refresh, rng, orderkey, n_customers, n_parts,
                         n_suppliers, date_span)

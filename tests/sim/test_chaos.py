@@ -1,0 +1,162 @@
+"""Chaos harness: sweep invariants, JSON report, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.sim.chaos import (
+    CHAOS_PROFILES,
+    ChaosCell,
+    default_chaos_config,
+    run_chaos,
+)
+
+#: tiny world so the full sweep stays fast in CI
+CHAOS_SF = 0.0005
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_chaos(scale_factor=CHAOS_SF, stream_counts=(2,),
+                     profiles=("none", "light", "heavy"),
+                     update_pairs=1)
+
+
+class TestInvariants:
+    def test_sweep_holds_all_invariants(self, report):
+        assert report.violations == []
+        assert report.ok
+
+    def test_conservation_per_cell(self, report):
+        for cell in report.cells:
+            assert cell.conserved
+            assert cell.submitted == \
+                cell.completed + cell.shed + cell.rejected
+            assert cell.updates_submitted == \
+                cell.updates_run + cell.updates_shed
+
+    def test_heavy_storm_trips_and_recovers_breaker(self, report):
+        heavy = report.cell(2, "heavy")
+        assert heavy.breaker_opened >= 1
+        assert heavy.breaker_recovered
+        assert heavy.breaker_final == "closed"
+
+    def test_monotone_degradation(self, report):
+        none = report.cell(2, "none")
+        light = report.cell(2, "light")
+        heavy = report.cell(2, "heavy")
+        assert none.queries_per_hour >= light.queries_per_hour
+        assert light.queries_per_hour >= heavy.queries_per_hour
+
+    def test_fault_free_cell_is_clean(self, report):
+        none = report.cell(2, "none")
+        assert none.shed == 0
+        assert none.requeued == 0
+        assert none.wp_restarts == 0
+        assert none.breaker_opened == 0
+
+    def test_crashes_surface_as_requeues(self, report):
+        # both fault profiles crash work processes at this scale
+        light = report.cell(2, "light")
+        heavy = report.cell(2, "heavy")
+        assert light.wp_restarts + heavy.wp_restarts >= 1
+        assert light.requeued + heavy.requeued >= 1
+
+
+class TestReport:
+    def test_json_shape(self, report):
+        doc = report.to_json()
+        assert doc["format"] == "repro-chaos-v1"
+        assert doc["scale_factor"] == CHAOS_SF
+        assert doc["ok"] is True
+        assert len(doc["cells"]) == 3
+        cell = doc["cells"][0]
+        for key in ("streams", "profile", "queries_per_hour",
+                    "submitted", "completed", "shed", "rejected",
+                    "updates", "breaker", "conserved"):
+            assert key in cell
+        json.dumps(doc)  # round-trippable
+
+    def test_render_mentions_verdict(self, report):
+        text = report.render()
+        assert "Chaos sweep" in text
+        assert "All invariants hold" in text
+        assert "heavy" in text
+
+    def test_cell_lookup(self, report):
+        assert report.cell(2, "none").profile == "none"
+        with pytest.raises(KeyError):
+            report.cell(99, "none")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos(scale_factor=CHAOS_SF, profiles=("nope",))
+
+    def test_violations_render_when_present(self):
+        from repro.sim.chaos import ChaosReport
+
+        broken = ChaosReport(scale_factor=CHAOS_SF)
+        broken.cells.append(ChaosCell(streams=2, profile="none",
+                                      conserved=False))
+        broken.violations.append("S=2 none: conservation violated")
+        assert not broken.ok
+        assert "conservation violated" in broken.render()
+
+
+class TestProfiles:
+    def test_profile_severity_ordering(self):
+        light = CHAOS_PROFILES["light"]
+        heavy = CHAOS_PROFILES["heavy"]
+        assert heavy.disk_error_every < light.disk_error_every
+        assert heavy.connection_drop_every < light.connection_drop_every
+        assert heavy.work_process_crash_every < \
+            light.work_process_crash_every
+
+    def test_heavy_burst_exceeds_retry_budget(self):
+        from repro.sim.params import SimParams
+
+        params = SimParams()
+        # the storm must outlast the per-call retry ladder long enough
+        # to produce breaker_failure_threshold consecutive failures
+        needed = (params.dbif_max_retries + 1) * \
+            params.breaker_failure_threshold
+        assert CHAOS_PROFILES["heavy"].connection_drop_burst >= needed
+
+    def test_default_config_is_constrained(self):
+        config = default_chaos_config()
+        assert config.dialog_processes == 4
+        assert config.queue_capacity == 8
+        assert config.queue_wait_deadline_s is not None
+
+
+class TestCli:
+    def test_smoke_command_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out_file = tmp_path / "chaos.json"
+        rc = main(["chaos", "--streams", "2", "--profile", "light",
+                   "--sf", str(CHAOS_SF), "--format", "json",
+                   "--chaos-out", str(out_file)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-chaos-v1"
+        assert json.loads(out_file.read_text()) == doc
+
+    def test_text_output(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["chaos", "--streams", "2", "--profile", "none",
+                   "--sf", str(CHAOS_SF)])
+        assert rc == 0
+        assert "Chaos sweep" in capsys.readouterr().out
+
+    def test_bad_streams_value(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "--streams", "two"]) == 2
+        assert main(["chaos", "--streams", "0"]) == 2
+
+    def test_chrome_format_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "--format", "chrome"]) == 2

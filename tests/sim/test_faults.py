@@ -98,6 +98,41 @@ class TestSchedules:
         injector.maybe_crash()
         assert injector.crashes_pending == 0
 
+    def test_wp_crashes_fire_on_period(self):
+        injector = _injector(FaultProfile(work_process_crash_every=3))
+        fired = []
+        for _ in range(9):
+            try:
+                injector.on_wp_request()
+            except WorkProcessCrash:
+                fired.append(injector.wp_requests)
+        assert fired == [3, 6, 9]
+
+    def test_wp_crash_disabled_by_default(self):
+        injector = _injector(FaultProfile(disk_error_every=5))
+        for _ in range(100):
+            injector.on_wp_request()
+        assert injector.wp_requests == 100
+
+    def test_wp_crash_schedule_is_seeded(self):
+        profile = FaultProfile(seed=11, work_process_crash_every=40,
+                               jitter=0.3)
+
+        def sequence():
+            injector = _injector(profile)
+            fired = []
+            for _ in range(1000):
+                try:
+                    injector.on_wp_request()
+                except WorkProcessCrash:
+                    fired.append(injector.wp_requests)
+            return fired
+
+        first = sequence()
+        assert first and first == sequence()
+        gaps = [b - a for a, b in zip(first, first[1:])]
+        assert all(28 <= gap <= 52 for gap in gaps)
+
     def test_metrics_count_injected_faults(self):
         metrics = MetricsCollector()
         injector = FaultInjector(
@@ -114,6 +149,17 @@ class TestSchedules:
                 pass
         assert metrics.get("faults.disk_io_injected") == 2
         assert metrics.get("faults.connection_drops_injected") == 2
+
+    def test_metrics_count_wp_crashes(self):
+        metrics = MetricsCollector()
+        injector = FaultInjector(FaultProfile(work_process_crash_every=2),
+                                 SimulatedClock(), metrics)
+        for _ in range(4):
+            try:
+                injector.on_wp_request()
+            except WorkProcessCrash:
+                pass
+        assert metrics.get("faults.crashes_injected") == 2
 
 
 class TestDeterminism:
