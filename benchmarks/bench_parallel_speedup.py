@@ -1,0 +1,114 @@
+"""Parallel speedup: the power-test scan/join queries at degree 1..8.
+
+Runs Q1 and Q6 (scan-heavy) and Q3 (join-heavy) on the isolated RDBMS
+at degrees 1, 2, 4 and 8, plus one deliberately *skewed* degree-4 run
+(lineitem partitioned by the 3-valued return flag, so one lane idles
+while another carries a double share).  Reports simulated elapsed per
+(query, degree) and the derived speedups, and dumps two bench-diff
+inputs:
+
+    BENCH_parallel_speedup.json          (the parallel results)
+    BENCH_parallel_serial_baseline.json  (the degree-1 baseline)
+
+    python -m repro bench-diff BENCH_parallel_serial_baseline.json \\
+        BENCH_parallel_speedup.json
+
+Acceptance asserted here: degree=1 is tick-for-tick identical to the
+plain serial engine, and degree=4 reaches >= 2.5x on Q1 and Q6.
+"""
+
+import json
+import os
+
+from repro.core.results import render_table
+from repro.tpcd.loader import load_original
+from repro.tpcd.queries import build_queries, run_query
+
+DEGREES = (1, 2, 4, 8)
+QUERIES = (1, 6, 3)
+
+
+def _run_suite(db, specs):
+    """{query number: simulated seconds} for the bench queries."""
+    times = {}
+    for number in QUERIES:
+        start = db.now
+        run_query(db, specs[number])
+        times[number] = db.now - start
+    return times
+
+
+def _dump(name: str, extra_info: dict) -> None:
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"name": name, "extra_info": extra_info, "stats": {}},
+                  handle, indent=2)
+        handle.write("\n")
+
+
+def test_parallel_speedup(benchmark, data, bench_sf):
+    specs = build_queries(bench_sf)
+
+    def scenario():
+        serial = load_original(data)
+        serial_times = _run_suite(serial, specs)
+        by_degree = {}
+        for degree in DEGREES:
+            db = load_original(data, degree=degree)
+            by_degree[degree] = _run_suite(db, specs)
+        skewed = load_original(data, degree=4)
+        skewed.set_partition_column("lineitem", "l_returnflag")
+        skewed.prepartition()
+        skewed_times = _run_suite(skewed, specs)
+        return serial_times, by_degree, skewed_times
+
+    serial_times, by_degree, skewed_times = benchmark.pedantic(
+        scenario, rounds=1, iterations=1)
+
+    rows = []
+    for degree in DEGREES:
+        rows.append([f"degree {degree}"] + [
+            f"{by_degree[degree][n]:.4f}s "
+            f"({serial_times[n] / by_degree[degree][n]:.2f}x)"
+            for n in QUERIES
+        ])
+    rows.append(["degree 4 skewed"] + [
+        f"{skewed_times[n]:.4f}s "
+        f"({serial_times[n] / skewed_times[n]:.2f}x)"
+        for n in QUERIES
+    ])
+    print()
+    print(render_table(
+        ["", "Q1 (scan)", "Q6 (scan)", "Q3 (join)"], rows,
+        title=f"Parallel speedup vs serial at SF={bench_sf}",
+    ))
+
+    serial_info = {}
+    parallel_info = {}
+    for n in QUERIES:
+        serial_info[f"q{n}_s"] = round(serial_times[n], 6)
+        parallel_info[f"q{n}_s"] = round(by_degree[4][n], 6)
+        for degree in DEGREES:
+            parallel_info[f"q{n}_degree{degree}_s"] = round(
+                by_degree[degree][n], 6)
+            parallel_info[f"q{n}_degree{degree}_speedup"] = round(
+                serial_times[n] / by_degree[degree][n], 3)
+        parallel_info[f"q{n}_degree4_skewed_s"] = round(skewed_times[n], 6)
+        parallel_info[f"q{n}_degree4_skewed_speedup"] = round(
+            serial_times[n] / skewed_times[n], 3)
+    benchmark.extra_info.update(parallel_info)
+    _dump("parallel_speedup", parallel_info)
+    _dump("parallel_serial_baseline", serial_info)
+
+    # degree=1 never diverges from the serial executor, to the tick.
+    assert by_degree[1] == serial_times
+    # The headline acceptance: >= 2.5x on the scan-heavy queries.
+    for n in (1, 6):
+        assert serial_times[n] / by_degree[4][n] >= 2.5
+    # More lanes never slow the scan queries down ...
+    for n in (1, 6):
+        assert by_degree[8][n] <= by_degree[2][n]
+    # ... and the skewed key measurably erodes the degree-4 speedup.
+    for n in (1, 6):
+        assert skewed_times[n] > by_degree[4][n]

@@ -54,7 +54,8 @@ def _build_30(args):
 
 def cmd_power(args) -> None:
     result = run_power_test(args.sf, _version(args),
-                            include_updates=not args.no_updates)
+                            include_updates=not args.no_updates,
+                            degree=args.degree)
     print(result.render())
 
 
@@ -224,6 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
                         default="3.0", help="R/3 release (power test)")
     parser.add_argument("--no-updates", action="store_true",
                         help="skip UF1/UF2 in the power test")
+    parser.add_argument("--degree", type=int, default=1,
+                        help="intra-query parallel degree for the power "
+                             "test (default 1 = serial)")
     trace = parser.add_argument_group("trace")
     trace.add_argument("--top", type=int, default=10,
                        help="operators in the hot-operator table "

@@ -22,6 +22,8 @@ R006      KONV cluster decode inside a loop        Table 4, Section 3.2
 R007      SELECT SINGLE without the full key       Table 8, Section 4.3
           (table buffer bypass)
 R008      embedded statement not analyzable        —
+R009      full-table report on a large table       Section 5
+          eligible for a parallel partitioned scan
 ========  =======================================  ===================
 """
 
@@ -92,6 +94,8 @@ RULES: list[Rule] = [
     Rule("R007", "SELECT SINGLE without the full key (buffer bypass)",
          "Table 8, Section 4.3"),
     Rule("R008", "embedded statement not statically analyzable", "—"),
+    Rule("R009", "full-table report eligible for a parallel scan",
+         "Section 5"),
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in RULES}
@@ -632,6 +636,66 @@ def rule_unparseable(analysis: ModuleAnalysis,
     return findings
 
 
+#: defaults of the engine's parallel knobs, used to size the suggestion
+_PARALLEL_MAX_DEGREE = 8
+_PARALLEL_MIN_ROWS_PER_LANE = 250
+
+
+def rule_parallel_candidate(analysis: ModuleAnalysis,
+                            schema: SchemaInfo) -> list[Finding]:
+    """R009: full-table report on a table a partitioned scan could split.
+
+    A SELECT that binds no equality sarg on an indexed column reads
+    (most of) the table regardless of any range predicate — exactly the
+    scan shape the parallel engine splits across worker lanes.  Flagged
+    as ``info``: not a defect, an opportunity (run the report with
+    ``--degree N``).  Fires on the big document tables (LINEITEM /
+    ORDERS live in VBAP / VBAK after the SAP mapping); tables too small
+    to feed two lanes stay quiet.
+    """
+    findings: list[Finding] = []
+    for site in analysis.sites:
+        if site.stmt is None:
+            continue
+        stmt = site.stmt
+        if stmt.single or stmt.up_to == 1:
+            continue
+        info = schema.lookup(stmt.table)
+        if info is None or info.is_view:
+            continue
+        rows = info.rows
+        if rows < FULL_SCAN_ROW_FLOOR:
+            continue
+        degree = min(_PARALLEL_MAX_DEGREE,
+                     rows // _PARALLEL_MIN_ROWS_PER_LANE)
+        if degree < 2:
+            continue
+        eq_driven = any(
+            c.op == "=" and not c.col_col and not c.from_on
+            and c.table == stmt.table
+            and schema.has_index_on(stmt.table, c.column)
+            for c in collect_conjuncts(stmt)
+        )
+        if eq_driven:
+            continue  # an index narrows the scan; lanes would idle
+        where_note = ("no WHERE clause" if stmt.where is None
+                      else "no equality sarg on an indexed column")
+        findings.append(Finding(
+            rule="R009", severity="info",
+            path=site.path, module=site.module, line=site.line,
+            func=site.func,
+            message=(
+                f"{site.api} on {stmt.table} reads ~{rows:,} rows "
+                f"({where_note}) — eligible for a partitioned parallel "
+                f"scan at degree {degree} (run with --degree {degree})"
+            ),
+            paper=RULES_BY_ID["R009"].paper,
+            estimate={"rows_scanned": rows, "suggested_degree": degree},
+            key=_key("R009", site.module, site.func, site.sql or ""),
+        ))
+    return findings
+
+
 _RULE_FUNCS = [
     rule_select_in_loop,
     rule_select_star,
@@ -641,6 +705,7 @@ _RULE_FUNCS = [
     rule_cluster_decode_in_loop,
     rule_partial_key_single,
     rule_unparseable,
+    rule_parallel_candidate,
 ]
 
 

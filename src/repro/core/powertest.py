@@ -101,7 +101,8 @@ class PowerTestResult:
 
 
 def build_sap_system(data: TpcdData, version: R3Version,
-                     params: SimParams | None = None) -> R3System:
+                     params: SimParams | None = None,
+                     degree: int = 1) -> R3System:
     """A loaded SAP system at the requested release level.
 
     3.0E systems are produced the way the paper produced them: install
@@ -114,6 +115,9 @@ def build_sap_system(data: TpcdData, version: R3Version,
         upgrade_to_30(r3)
         r3.db.drop_index("idx_vbep_edatu")
         r3.db.analyze()
+    if degree > 1:
+        r3.db.set_degree(degree)
+        r3.db.prepartition()
     return r3
 
 
@@ -159,17 +163,20 @@ def run_power_test(
     data: TpcdData | None = None,
     query_timeout_s: float | None = None,
     tracing: bool = False,
+    degree: int = 1,
 ) -> PowerTestResult:
     """Run the power test; with ``tracing=True`` each variant's system
     records a full hierarchical trace (enabled after load, so the trace
-    covers the measured suite only) available in ``result.traces``."""
+    covers the measured suite only) available in ``result.traces``.
+    ``degree`` sets intra-query parallelism on every variant's
+    database; at the default of 1 execution is strictly serial."""
     data = data or generate(scale_factor)
     refresh = generate_refresh_orders(data)
     doomed = delete_keys(data)
     result = PowerTestResult(version=version, scale_factor=scale_factor)
 
     if "rdbms" in variants:
-        db = load_original(data, params=params)
+        db = load_original(data, params=params, degree=degree)
         if tracing:
             db.tracer.enable()
             result.traces["rdbms"] = db.tracer
@@ -188,7 +195,7 @@ def run_power_test(
     uf_times: dict[str, float] = {}
     uf_failures: dict[str, str] = {}
     for i, variant in enumerate(sap_needed):
-        r3 = build_sap_system(data, version, params)
+        r3 = build_sap_system(data, version, params, degree=degree)
         if tracing:
             r3.tracer.enable()
             result.traces[variant] = r3.tracer

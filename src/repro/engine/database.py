@@ -26,6 +26,7 @@ from repro.engine.buffer import BufferPool
 from repro.engine.errors import PlanError
 from repro.engine.exec.base import ExecContext
 from repro.engine.expr import Expr, OutputSchema, predicate_holds
+from repro.engine.parallel import ParallelPolicy, PartitionManager
 from repro.engine.plan.binder import bind_expr
 from repro.engine.plan.planner import PlannedQuery, Planner
 from repro.engine.schema import TableSchema
@@ -102,7 +103,7 @@ class Database:
     """An isolated engine instance with its own simulated clock."""
 
     def __init__(self, params: SimParams | None = None,
-                 name: str = "db") -> None:
+                 name: str = "db", degree: int = 1) -> None:
         self.name = name
         self.params = params or SimParams()
         self.clock = SimulatedClock()
@@ -130,6 +131,69 @@ class Database:
         self._planner = Planner(self.catalog, self.stats, self.ctx)
         #: hierarchical span tracer (disabled by default, zero-overhead)
         self.tracer = Tracer(self.clock, self.metrics)
+        self.ctx.tracer = self.tracer
+        #: version-checked partition overlays for parallel scans
+        self.partitions = PartitionManager(self.ctx)
+        self._partition_choices: dict[str, tuple[str, str]] = {}
+        self.degree = 1
+        if degree > 1:
+            self.set_degree(degree)
+
+    # -- parallelism --------------------------------------------------------
+
+    def set_degree(self, degree: int) -> None:
+        """Set the requested degree of parallelism for SELECT plans.
+
+        ``degree=1`` uninstalls the parallel policy entirely, so the
+        serial executor runs unchanged — the zero-regression path.
+        Already-prepared statements keep the plan they were compiled
+        with (cursor caching semantics).
+        """
+        degree = int(degree)
+        if degree < 1:
+            raise PlanError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        if degree == 1:
+            self._planner.parallel = None
+        else:
+            self._planner.parallel = ParallelPolicy(
+                self.ctx, self.stats, self.partitions, degree,
+                partition_choices=self._partition_choices,
+            )
+
+    def set_partition_column(self, table_name: str, column: str,
+                             kind: str = "hash") -> None:
+        """Override the partition key for a table (e.g. to force skew)."""
+        table = self.catalog.table(table_name)
+        column = column.lower()
+        table.schema.column_index(column)  # raises on unknown column
+        if kind not in ("hash", "range"):
+            raise PlanError(f"unknown partition kind {kind!r}")
+        self._partition_choices[table.name] = (column, kind)
+        self.partitions.invalidate(table.name)
+
+    def prepartition(self, *table_names: str) -> dict[str, int]:
+        """Eagerly build partition overlays (all tables by default).
+
+        Returns table -> degree actually used (tables too small to
+        parallelize are skipped).  Without this the first parallel
+        query pays the partition-build cost inline.
+        """
+        policy = self._planner.parallel
+        if policy is None:
+            return {}
+        built: dict[str, int] = {}
+        for name in table_names or self.catalog.table_names:
+            table = self.catalog.table(name)
+            degree = policy.degree_for(table)
+            if not degree:
+                continue
+            spec = policy.spec_for(table, degree)
+            if spec is None:
+                continue
+            self.partitions.get(table, spec)
+            built[table.name] = degree
+        return built
 
     # -- DDL ----------------------------------------------------------------
 

@@ -28,6 +28,10 @@ class ExecContext:
         self.metrics = metrics
         self.params = params
         self.buffer_pool = buffer_pool
+        #: the owning Database's tracer, installed post-construction so
+        #: parallel fragments can record lane spans; None outside a
+        #: Database (unit tests build bare contexts)
+        self.tracer = None
         self._spill_counter = 0
 
     def charge_tuples(self, count: int) -> None:

@@ -1,0 +1,32 @@
+"""Intra-query parallel execution: partitioned storage, worker lanes,
+exchange operators, and degree-of-parallelism planning.
+
+See :mod:`repro.engine.parallel.partition` for the deterministic
+partition overlay, :mod:`repro.engine.parallel.lanes` for the
+worker-lane cost model on the simulated clock, and
+:mod:`repro.engine.parallel.policy` for plan parallelization.  The
+exchange operators themselves live in
+:mod:`repro.engine.exec.parallel` next to the other physical
+operators.
+"""
+
+from repro.engine.parallel.lanes import LaneSet, WorkerLane
+from repro.engine.parallel.partition import (
+    HeapPartition,
+    PartitionedHeap,
+    PartitionManager,
+    PartitionSpec,
+    stable_hash,
+)
+from repro.engine.parallel.policy import ParallelPolicy
+
+__all__ = [
+    "HeapPartition",
+    "LaneSet",
+    "ParallelPolicy",
+    "PartitionManager",
+    "PartitionSpec",
+    "PartitionedHeap",
+    "WorkerLane",
+    "stable_hash",
+]

@@ -1,0 +1,97 @@
+"""Worker lanes: the simulated cost model for intra-query parallelism.
+
+A :class:`LaneSet` models N workers executing one plan fragment.  The
+simulator is single-threaded, so lanes *run* sequentially — but each
+lane's charges are redirected into its own :class:`LaneSink`, leaving
+global simulated time frozen while the lane works.  At the
+:meth:`LaneSet.barrier` the global clock advances by the *maximum* of
+the lanes' accumulated seconds: the fragment takes as long as its
+slowest lane, which is exactly how skew erodes speedup.
+
+Because :attr:`SimulatedClock.now` reads lane-local while redirected,
+trace spans and operator profiles opened inside a lane measure that
+lane's own progress, and sibling lane spans come out as overlapping
+windows starting at the same global instant — concurrent on the time
+axis, as they should be.
+
+Statement deadlines are only evaluated against global time, so a
+timeout armed around a parallel query fires at the barrier (when the
+max is charged for real) rather than inside a lane.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.sim.clock import LaneSink, SimulatedClock
+
+T = TypeVar("T")
+
+
+class WorkerLane:
+    """One worker: its sink plus bookkeeping for multi-phase fragments."""
+
+    __slots__ = ("index", "sink", "folded_s")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.sink = LaneSink()
+        #: seconds already folded into the global clock by past barriers
+        self.folded_s = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """All simulated seconds this lane has accumulated."""
+        return self.sink.seconds
+
+    @property
+    def phase_s(self) -> float:
+        """Seconds accumulated since the last barrier."""
+        return self.sink.seconds - self.folded_s
+
+
+class LaneSet:
+    """N lanes plus barrier semantics over one shared clock."""
+
+    def __init__(self, clock: SimulatedClock, degree: int) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be positive: {degree}")
+        self.clock = clock
+        self.lanes = [WorkerLane(i) for i in range(degree)]
+
+    @property
+    def degree(self) -> int:
+        return len(self.lanes)
+
+    def run(self, index: int, fn: Callable[[], T]) -> T:
+        """Execute ``fn`` on lane ``index``: charges go to its sink."""
+        lane = self.lanes[index]
+        with self.clock.redirect(lane.sink):
+            return fn()
+
+    def barrier(self) -> float:
+        """Synchronize: charge the slowest lane's phase time globally.
+
+        Returns the seconds charged.  Multi-phase fragments (e.g. a
+        repartition join's shuffle then probe) call this between
+        phases; each barrier folds only the time accumulated since the
+        previous one, so total fragment time is the sum of per-phase
+        maxima — a straggler in *any* phase stalls the whole fragment.
+        """
+        slowest = max(lane.phase_s for lane in self.lanes)
+        for lane in self.lanes:
+            lane.folded_s = lane.sink.seconds
+        self.clock.charge(slowest)
+        return slowest
+
+    def lane_seconds(self) -> list[float]:
+        """Per-lane totals, for span attributes and skew reporting."""
+        return [lane.total_s for lane in self.lanes]
+
+    def skew(self) -> float:
+        """max/mean of lane totals; 1.0 means perfectly balanced."""
+        totals = self.lane_seconds()
+        mean = sum(totals) / len(totals)
+        if mean <= 0:
+            return 1.0
+        return max(totals) / mean

@@ -111,12 +111,34 @@ class Planner:
         self.catalog = catalog
         self.stats = stats_store
         self.ctx = ctx
+        #: a ParallelPolicy when the database runs at degree > 1; the
+        #: finished *top-level* plan is handed to it for fragment
+        #: rewriting (views/subqueries recurse through plan_select and
+        #: must stay serial — fragments never nest inside lanes)
+        self.parallel = None
+        self._depth = 0
 
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
 
     def plan_select(
+        self,
+        stmt: SelectStmt,
+        outer_schema: OutputSchema | None = None,
+        cell: CorrelationCell | None = None,
+    ) -> PlannedQuery:
+        self._depth += 1
+        try:
+            planned = self._plan_select_serial(stmt, outer_schema, cell)
+        finally:
+            self._depth -= 1
+        if (self._depth == 0 and self.parallel is not None
+                and not planned.correlated):
+            planned.operator = self.parallel.parallelize(planned.operator)
+        return planned
+
+    def _plan_select_serial(
         self,
         stmt: SelectStmt,
         outer_schema: OutputSchema | None = None,

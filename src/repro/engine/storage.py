@@ -29,6 +29,9 @@ class HeapFile:
         self._rows: list[tuple | None] = []
         self._live = 0
         self.rows_per_page = max(1, page_size_bytes // schema.row_byte_width)
+        #: bumped on every mutation; partition overlays key their caches
+        #: on it to detect a stale rowid snapshot
+        self.version = 0
 
     # -- mutation -------------------------------------------------------
 
@@ -36,6 +39,7 @@ class HeapFile:
         """Store ``row`` and return its rowid."""
         self._rows.append(row)
         self._live += 1
+        self.version += 1
         return len(self._rows) - 1
 
     def delete(self, rowid: int) -> None:
@@ -43,11 +47,13 @@ class HeapFile:
             raise ExecutionError(f"delete of dead rowid {rowid}")
         self._rows[rowid] = None
         self._live -= 1
+        self.version += 1
 
     def update(self, rowid: int, row: tuple) -> None:
         if not self._slot_live(rowid):
             raise ExecutionError(f"update of dead rowid {rowid}")
         self._rows[rowid] = row
+        self.version += 1
 
     # -- access ---------------------------------------------------------
 
@@ -57,6 +63,17 @@ class HeapFile:
         row = self._rows[rowid]
         assert row is not None
         return row
+
+    def get(self, rowid: int) -> tuple | None:
+        """The row at ``rowid``, or ``None`` for a tombstone.
+
+        Partition scans visit rowids from a snapshot taken at partition
+        build time; a row deleted since then is simply skipped, the way
+        a scan skips a tombstoned slot.
+        """
+        if 0 <= rowid < len(self._rows):
+            return self._rows[rowid]
+        return None
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
         """Yield (rowid, row) for every live row, heap order."""

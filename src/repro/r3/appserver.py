@@ -51,10 +51,11 @@ class R3System:
         version: R3Version = R3Version.V22,
         params: SimParams | None = None,
         client: str = DEFAULT_CLIENT,
+        degree: int = 1,
     ) -> None:
         self.version = version
         self.params = params or SimParams()
-        self.db = Database(params=self.params, name="sapdb")
+        self.db = Database(params=self.params, name="sapdb", degree=degree)
         self.clock = self.db.clock
         self.metrics = self.db.metrics
         #: shared hierarchical tracer (one tree across all tiers)

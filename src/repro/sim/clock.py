@@ -4,11 +4,50 @@ All performance-relevant components charge costs (in simulated seconds)
 to a shared :class:`SimulatedClock`.  The clock supports nested *spans*
 so a harness can measure the simulated duration of a query while the
 same clock keeps accumulating globally.
+
+For parallel execution the clock additionally supports *charge
+redirection*: while a :class:`LaneSink` is installed (via
+:meth:`SimulatedClock.redirect`), every ``charge`` accumulates into the
+sink instead of advancing global time, and ``now`` reads as global time
+plus the sink's accumulation — i.e. time becomes lane-local.  The
+parallel executor runs each worker lane under its own sink and then
+advances the global clock by ``max(lane totals)`` at the barrier, which
+is what makes a fragment's elapsed time the slowest lane's time instead
+of the sum.
 """
 
 from __future__ import annotations
 
 from typing import Callable
+
+
+class LaneSink:
+    """Accumulator for one worker lane's simulated seconds."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+class _Redirect:
+    """Context manager installing a :class:`LaneSink` on the clock."""
+
+    __slots__ = ("_clock", "_sink")
+
+    def __init__(self, clock: "SimulatedClock", sink: LaneSink) -> None:
+        self._clock = clock
+        self._sink = sink
+
+    def __enter__(self) -> LaneSink:
+        if self._clock._sink is not None:
+            raise RuntimeError("clock charges are already redirected "
+                               "(worker lanes do not nest)")
+        self._clock._sink = self._sink
+        return self._sink
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._clock._sink = None
 
 
 class ClockSpan:
@@ -46,13 +85,27 @@ class SimulatedClock:
 
     def __init__(self) -> None:
         self._now = 0.0
+        self._sink: LaneSink | None = None
         self._deadlines: dict[int, tuple[float, Callable[[], Exception]]] = {}
         self._next_deadline_token = 0
 
     @property
     def now(self) -> float:
-        """Current simulated time in seconds since clock creation."""
+        """Current simulated time in seconds since clock creation.
+
+        While charges are redirected into a lane sink this reads as
+        *lane-local* time (global time plus the lane's accumulation),
+        so spans and profiles opened inside a lane measure the lane's
+        own progress.
+        """
+        if self._sink is not None:
+            return self._now + self._sink.seconds
         return self._now
+
+    @property
+    def redirected(self) -> bool:
+        """True while a lane sink is installed."""
+        return self._sink is not None
 
     def charge(self, seconds: float) -> None:
         """Advance the clock by ``seconds`` of simulated work.
@@ -62,12 +115,24 @@ class SimulatedClock:
         itself still lands first, so the caller sees the *partial*
         simulated cost accrued up to the abort — exactly how a timed-out
         query shows up in the power-test reports.
+
+        While redirected, the charge lands in the lane sink and global
+        time does not move; armed deadlines are only evaluated against
+        global time, so they fire at the fragment barrier (when the
+        lanes' max is charged for real), not inside a lane.
         """
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
+        if self._sink is not None:
+            self._sink.seconds += seconds
+            return
         self._now += seconds
         if self._deadlines:
             self._check_deadlines()
+
+    def redirect(self, sink: LaneSink) -> _Redirect:
+        """Redirect subsequent charges into ``sink`` (context manager)."""
+        return _Redirect(self, sink)
 
     def span(self) -> ClockSpan:
         """Open a measurement window (usable as a context manager)."""
@@ -76,6 +141,7 @@ class SimulatedClock:
     def reset(self) -> None:
         """Rewind to zero.  Only meant for harness setup, not mid-run."""
         self._now = 0.0
+        self._sink = None
         self._deadlines.clear()
 
     # -- deadlines (statement/query timeouts) --------------------------------

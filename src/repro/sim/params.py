@@ -83,6 +83,23 @@ class SimParams:
     #: restarting a crashed work process before its request is requeued
     wp_restart_s: float = 2.0
 
+    # ---- parallel query execution ----------------------------------------
+    #: hard cap on the degree of parallelism the planner may pick
+    parallel_max_degree: int = 8
+    #: a lane must be fed at least this many rows to be worth starting
+    parallel_min_rows_per_lane: int = 250
+    #: coordinator cost per fragment (plan distribution + result merge)
+    parallel_fragment_overhead_s: float = 0.003
+    #: starting / reaping one worker lane
+    parallel_lane_start_s: float = 0.001
+    #: shipping one row between lanes or to the coordinator (exchange)
+    parallel_ship_tuple_s: float = 0.00001
+    #: build sides at or below this many estimated rows are broadcast
+    #: to every lane; larger builds are repartitioned by join key
+    parallel_broadcast_rows: int = 2000
+    #: seed mixed into the deterministic partition hash
+    parallel_hash_seed: int = 0
+
     # ---- DBIF circuit breaker --------------------------------------------
     #: consecutive DBIF failures (post-retry) before the breaker opens
     breaker_failure_threshold: int = 3

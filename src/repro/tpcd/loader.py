@@ -14,7 +14,7 @@ from repro.tpcd.schema import ORIGINAL_TABLES, create_original_schema
 
 
 def load_original(data: TpcdData, params: SimParams | None = None,
-                  analyze: bool = True) -> Database:
+                  analyze: bool = True, degree: int = 1) -> Database:
     """Create an engine database holding the original TPC-D tables."""
     db = Database(params=params, name="tpcd")
     create_original_schema(db)
@@ -22,4 +22,10 @@ def load_original(data: TpcdData, params: SimParams | None = None,
         db.bulk_load(name, data.table(name))
     if analyze:
         db.analyze()
+    if degree > 1:
+        # Install the policy only after stats exist, so degree and
+        # partition-key selection see real cardinalities; partition
+        # the big tables as part of the (unmeasured) load phase.
+        db.set_degree(degree)
+        db.prepartition()
     return db

@@ -107,8 +107,7 @@ class TraceAnalyzer:
             if span.name != "power.query":
                 continue
             sums = _LayerSums()
-            for child in span.children:
-                self._collect(child, False, sums)
+            self._collect_children(span.children, False, sums)
             total = span.elapsed_s
             engine = sums.db_under_dbif + sums.db_direct
             dbif = sums.dbif_incl - sums.db_under_dbif
@@ -141,8 +140,38 @@ class TraceAnalyzer:
             # db spans never nest in each other; no need to recurse for
             # layer accounting, but keep walking for dbif sanity.
             return
-        for child in span.children:
-            self._collect(child, inside_dbif, sums)
+        self._collect_children(span.children, inside_dbif, sums)
+
+    def _collect_children(self, children, inside_dbif: bool,
+                          sums: _LayerSums) -> None:
+        """Walk child spans; concurrent siblings contribute max, not sum.
+
+        Worker-lane spans (``parallel=True``) under one parent ran
+        concurrently on the simulated time axis, so adding their layer
+        seconds would overcount against the parent's wall-clock.  Lane
+        siblings are grouped by their ``phase`` attribute (a barrier
+        separates phases, making phases sequential) and each group
+        folds its per-lane time fields via max — the straggler lane
+        sets the group's contribution — while discrete counts such as
+        ``dbif_calls`` still add across lanes.
+        """
+        lane_groups: dict[object, list] = {}
+        for child in children:
+            if child.attrs.get("parallel"):
+                lane_groups.setdefault(
+                    child.attrs.get("phase"), []).append(child)
+            else:
+                self._collect(child, inside_dbif, sums)
+        for lanes in lane_groups.values():
+            per_lane = []
+            for lane in lanes:
+                lane_sums = _LayerSums()
+                self._collect(lane, inside_dbif, lane_sums)
+                per_lane.append(lane_sums)
+            sums.dbif_incl += max(s.dbif_incl for s in per_lane)
+            sums.db_under_dbif += max(s.db_under_dbif for s in per_lane)
+            sums.db_direct += max(s.db_direct for s in per_lane)
+            sums.dbif_calls += sum(s.dbif_calls for s in per_lane)
 
     # -- operator profiles -------------------------------------------------
 

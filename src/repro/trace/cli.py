@@ -44,7 +44,8 @@ def run_trace_command(args) -> int:
     top = getattr(args, "top", 10)
     result = run_power_test(args.sf, version,
                             include_updates=not args.no_updates,
-                            tracing=True)
+                            tracing=True,
+                            degree=getattr(args, "degree", 1))
 
     if args.format == "text":
         first = True

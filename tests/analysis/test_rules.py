@@ -192,6 +192,37 @@ def test_r008_parse_error(lint):
     assert "fails to parse" in f.message
 
 
+def test_r009_full_table_report_on_partitionable_table(lint):
+    findings = lint("""
+        def report(r3):
+            return r3.open_sql.select(
+                "SELECT matnr kwmeng FROM vbap WHERE kwmeng < :q",
+                {"q": 24})
+    """)
+    (f,) = [f for f in findings if f.rule == "R009"]
+    assert f.severity == "info"
+    assert "--degree" in f.message
+    assert f.estimate["suggested_degree"] >= 2
+    assert f.estimate["rows_scanned"] > 0
+
+
+def test_r009_quiet_on_indexed_probe_and_small_table(lint):
+    findings = lint("""
+        def probe(r3):
+            return r3.open_sql.select(
+                "SELECT posnr FROM vbap WHERE vbeln = :v", {"v": 1})
+
+        def single(r3):
+            return r3.open_sql.select_single(
+                "SELECT SINGLE knumv FROM vbak WHERE vbeln = :v",
+                {"v": 1})
+
+        def tiny(r3):
+            return r3.open_sql.select("SELECT land1 landx FROM t005t")
+    """)
+    assert "R009" not in rules_of(findings)
+
+
 def test_findings_ranked_by_severity(lint):
     findings = lint("""
         def big(r3):

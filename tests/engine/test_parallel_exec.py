@@ -1,0 +1,320 @@
+"""Parallel query execution: lanes, exchanges, correctness, identity."""
+
+import pytest
+
+from repro.core.powertest import run_power_test
+from repro.engine import Column, Database, SqlType, TableSchema
+from repro.engine.parallel import LaneSet
+from repro.sim.clock import LaneSink, SimulatedClock
+from repro.sim.params import SimParams
+from repro.tpcd.loader import load_original
+from repro.tpcd.queries import build_queries, run_query
+from tests.conftest import SF
+
+
+def _normalize(rows):
+    """Order-independent, float-tolerant row-set comparison key."""
+    rounded = [
+        tuple(round(v, 6) if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return sorted(rounded, key=repr)
+
+
+# -- the clock's charge redirection ------------------------------------------
+
+
+class TestChargeRedirection:
+    def test_redirect_freezes_global_time(self):
+        clock = SimulatedClock()
+        clock.charge(1.0)
+        sink = LaneSink()
+        with clock.redirect(sink):
+            clock.charge(0.25)
+            clock.charge(0.5)
+            # now is lane-local while redirected
+            assert clock.now == pytest.approx(1.75)
+        assert sink.seconds == pytest.approx(0.75)
+        assert clock.now == pytest.approx(1.0)
+
+    def test_nested_redirect_rejected(self):
+        clock = SimulatedClock()
+        with clock.redirect(LaneSink()):
+            with pytest.raises(RuntimeError):
+                with clock.redirect(LaneSink()):
+                    pass
+
+    def test_deadline_deferred_to_global_advance(self):
+        clock = SimulatedClock()
+
+        class Boom(Exception):
+            pass
+
+        clock.push_deadline(0.5, Boom)
+        with clock.redirect(LaneSink()):
+            clock.charge(10.0)  # far past the deadline, lane-local: no fire
+        with pytest.raises(Boom):
+            clock.charge(0.6)  # the barrier-style global advance fires it
+
+
+class TestLaneSet:
+    def test_barrier_charges_slowest_lane(self):
+        clock = SimulatedClock()
+        lanes = LaneSet(clock, 3)
+        for index, cost in enumerate((0.2, 0.5, 0.1)):
+            lanes.run(index, lambda c=cost: clock.charge(c))
+        charged = lanes.barrier()
+        assert charged == pytest.approx(0.5)
+        assert clock.now == pytest.approx(0.5)
+
+    def test_multi_phase_sums_per_phase_maxima(self):
+        clock = SimulatedClock()
+        lanes = LaneSet(clock, 2)
+        lanes.run(0, lambda: clock.charge(0.4))
+        lanes.run(1, lambda: clock.charge(0.1))
+        lanes.barrier()  # phase 1: max = 0.4
+        lanes.run(0, lambda: clock.charge(0.1))
+        lanes.run(1, lambda: clock.charge(0.3))
+        lanes.barrier()  # phase 2: max = 0.3
+        assert clock.now == pytest.approx(0.7)
+        assert lanes.lane_seconds() == pytest.approx([0.5, 0.4])
+
+    def test_skew_is_max_over_mean(self):
+        clock = SimulatedClock()
+        lanes = LaneSet(clock, 2)
+        lanes.run(0, lambda: clock.charge(0.9))
+        lanes.run(1, lambda: clock.charge(0.3))
+        lanes.barrier()
+        assert lanes.skew() == pytest.approx(1.5)
+
+
+# -- parallel plans against the serial reference -----------------------------
+
+
+@pytest.fixture(scope="module")
+def parallel_db(tpcd_data):
+    db = load_original(tpcd_data, degree=4)
+    db.prepartition("lineitem", "orders", "partsupp", "customer", "part")
+    return db
+
+
+class TestParallelCorrectness:
+    def test_all_power_queries_match_serial(self, parallel_db,
+                                            reference_results):
+        specs = build_queries(SF)
+        for number in sorted(specs):
+            got = run_query(parallel_db, specs[number]).rows
+            assert _normalize(got) == _normalize(
+                reference_results[number]), f"Q{number} diverged"
+
+    def test_two_phase_aggregate_functions(self, tpcd_data,
+                                           reference_results):
+        db = load_original(tpcd_data, degree=4)
+        result = db.execute(
+            "SELECT l_returnflag, COUNT(*), SUM(l_quantity), "
+            "AVG(l_extendedprice), MIN(l_discount), MAX(l_tax) "
+            "FROM lineitem GROUP BY l_returnflag"
+        )
+        serial = load_original(tpcd_data).execute(
+            "SELECT l_returnflag, COUNT(*), SUM(l_quantity), "
+            "AVG(l_extendedprice), MIN(l_discount), MAX(l_tax) "
+            "FROM lineitem GROUP BY l_returnflag"
+        )
+        assert _normalize(result.rows) == _normalize(serial.rows)
+        assert "PartialAggregate" in db.explain(
+            "SELECT COUNT(*) FROM lineitem GROUP BY l_returnflag"
+        )
+
+    def test_global_aggregate_over_empty_selection(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        result = db.execute(
+            "SELECT COUNT(*), SUM(l_quantity) FROM lineitem "
+            "WHERE l_quantity < -1"
+        )
+        assert result.rows == [(0, None)]
+
+    def test_distinct_aggregate_stays_serial(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        plan = db.explain(
+            "SELECT COUNT(DISTINCT l_suppkey) FROM lineitem"
+        )
+        assert "PartialAggregate" not in plan
+
+    def test_small_tables_stay_serial(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        assert "Gather" not in db.explain("SELECT * FROM region")
+        assert "Gather" not in db.explain("SELECT * FROM nation")
+
+    def test_plan_shapes(self, parallel_db):
+        scan = parallel_db.explain(
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity < 10"
+        )
+        assert "Gather(degree=4)" in scan
+        assert "PartitionScan(lineitem p0/4" in scan
+        join = parallel_db.explain(
+            "SELECT o_orderkey FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey"
+        )
+        assert "ParallelHashJoin" in join
+
+
+class TestJoinStrategies:
+    JOIN_SQL = (
+        "SELECT o_orderpriority, COUNT(*) FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND l_quantity < 30 "
+        "GROUP BY o_orderpriority"
+    )
+
+    def test_broadcast_and_repartition_agree_with_serial(self, tpcd_data):
+        serial = load_original(tpcd_data).execute(self.JOIN_SQL).rows
+        broadcast_db = load_original(
+            tpcd_data, params=SimParams(parallel_broadcast_rows=10**9),
+            degree=4)
+        repartition_db = load_original(
+            tpcd_data, params=SimParams(parallel_broadcast_rows=0),
+            degree=4)
+        assert "ParallelHashJoin(broadcast" \
+            in broadcast_db.explain(self.JOIN_SQL)
+        assert "ParallelHashJoin(repartition" \
+            in repartition_db.explain(self.JOIN_SQL)
+        assert _normalize(broadcast_db.execute(self.JOIN_SQL).rows) \
+            == _normalize(serial)
+        assert _normalize(repartition_db.execute(self.JOIN_SQL).rows) \
+            == _normalize(serial)
+
+    def test_strategy_follows_build_cardinality(self, parallel_db):
+        # orders (1,500 rows at this SF) is under the broadcast ceiling.
+        plan = parallel_db.explain(self.JOIN_SQL)
+        assert "ParallelHashJoin(broadcast" in plan
+
+
+class TestSkew:
+    def test_skewed_partition_key_erodes_speedup(self, tpcd_data):
+        q6 = ("SELECT SUM(l_extendedprice * l_discount) FROM lineitem "
+              "WHERE l_discount >= 0.02")
+        balanced = load_original(tpcd_data, degree=4)
+        balanced.prepartition("lineitem")
+        skewed = load_original(tpcd_data, degree=4)
+        # 3 distinct flag values hashed over 4 lanes: one lane idles
+        # and another carries a double share.
+        skewed.set_partition_column("lineitem", "l_returnflag")
+        skewed.prepartition("lineitem")
+
+        def elapsed(db):
+            start = db.now
+            rows = db.execute(q6).rows
+            return db.now - start, rows
+
+        balanced_s, balanced_rows = elapsed(balanced)
+        skewed_s, skewed_rows = elapsed(skewed)
+        assert _normalize(balanced_rows) == _normalize(skewed_rows)
+        assert skewed_s > balanced_s
+
+
+class TestDmlConsistency:
+    def test_parallel_scan_sees_post_delete_state(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        before = db.execute("SELECT COUNT(*) FROM lineitem").scalar()
+        db.execute("DELETE FROM lineitem WHERE l_orderkey = 1")
+        deleted = before - db.execute(
+            "SELECT COUNT(*) FROM lineitem").scalar()
+        assert deleted == len(
+            db.execute("SELECT * FROM lineitem WHERE l_orderkey = 1").rows
+        ) + deleted  # no rows with the key remain
+        assert deleted > 0
+
+    def test_timeout_still_fires_during_parallel_query(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        db.prepartition("lineitem")
+        specs = build_queries(SF)
+        baseline = db.now
+        run_query(db, specs[1])
+        full_cost = db.now - baseline
+
+        class Boom(Exception):
+            pass
+
+        db.clock.push_deadline(db.now + full_cost / 2, Boom)
+        with pytest.raises(Boom):
+            run_query(db, specs[1])
+
+
+class TestTraceIntegration:
+    def test_lane_spans_are_concurrent_siblings(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        db.prepartition("lineitem")
+        db.tracer.enable()
+        db.execute("SELECT SUM(l_quantity) FROM lineitem")
+        fragments = db.tracer.find("exec.fragment")
+        assert fragments
+        fragment = fragments[0]
+        lanes = [c for c in fragment.children if c.name == "exec.lane"]
+        assert len(lanes) == 4
+        assert all(lane.attrs.get("parallel") for lane in lanes)
+        # Lanes start at the same (frozen) global instant and overlap.
+        assert len({lane.start_s for lane in lanes}) == 1
+        # The fragment covers its slowest lane plus overhead.
+        assert fragment.elapsed_s >= max(lane.elapsed_s for lane in lanes)
+        assert fragment.attrs["skew"] >= 1.0
+        assert fragment.attrs["rows"] > 0
+
+    def test_profile_reports_per_lane_operators(self, tpcd_data):
+        db = load_original(tpcd_data, degree=4)
+        db.tracer.enable()
+        db.execute("SELECT SUM(l_quantity) FROM lineitem")
+        queries = db.tracer.find("db.query")
+        profile = queries[-1].attrs["profile"]
+        scans = [node for node in profile.walk()
+                 if node.label.startswith("PartitionScan")]
+        assert len(scans) == 4
+        total = sum(node.rows_out for node in scans)
+        assert total == db.catalog.table("lineitem").row_count
+
+
+class TestDegreeOneIdentity:
+    def test_power_test_is_tick_identical(self, tpcd_data):
+        default = run_power_test(SF, data=tpcd_data,
+                                 variants=("rdbms",))
+        explicit = run_power_test(SF, data=tpcd_data,
+                                  variants=("rdbms",), degree=1)
+        assert default.times == explicit.times
+        assert default.row_counts == explicit.row_counts
+
+    def test_clock_and_page_metrics_identical(self, tpcd_data):
+        specs = build_queries(SF)
+        plain = load_original(tpcd_data)
+        explicit = load_original(tpcd_data, degree=1)
+        for number in sorted(specs):
+            run_query(plain, specs[number])
+            run_query(explicit, specs[number])
+        assert plain.clock.now == explicit.clock.now
+        assert plain.metrics.all() == explicit.metrics.all()
+
+
+class TestDegreeKnob:
+    def test_cli_exposes_degree(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["power", "--degree", "4", "--sf", "0.001"])
+        assert args.degree == 4
+        assert build_parser().parse_args(["power"]).degree == 1
+
+    def test_power_test_speedup_at_degree_four(self, tpcd_data):
+        serial = run_power_test(SF, data=tpcd_data, variants=("rdbms",))
+        parallel = run_power_test(SF, data=tpcd_data, variants=("rdbms",),
+                                  degree=4)
+        for name in ("Q1", "Q6"):
+            assert parallel.times["rdbms"][name] \
+                < serial.times["rdbms"][name]
+
+    def test_set_degree_validates(self, tpcd_data):
+        from repro.engine.errors import PlanError
+
+        db = load_original(tpcd_data)
+        with pytest.raises(PlanError):
+            db.set_degree(0)
+        db.set_degree(4)
+        assert "Gather" in db.explain("SELECT l_quantity FROM lineitem")
+        db.set_degree(1)
+        assert "Gather" not in db.explain("SELECT l_quantity FROM lineitem")
