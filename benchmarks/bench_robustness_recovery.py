@@ -1,0 +1,169 @@
+"""Durability: WAL overhead on the Table-3 load + recovery vs checkpoint interval.
+
+Two questions the paper's month-long load makes concrete:
+
+* what does write-ahead logging cost *while nothing goes wrong*?  The
+  checkpointed batch-input load runs once without durability and once
+  with the WAL at each checkpoint interval; the acceptance gate is
+  < 8% load-time overhead.
+* what does a crash cost *to come back from*?  Each durable load is
+  crashed at ~60% of its durability boundaries, recovered through the
+  ARIES passes, resumed, and checked row-identical to the fault-free
+  load.  Recovery time and redo volume shrink as checkpoints tighten —
+  the trade the interval knob buys.
+
+Dumps BENCH_robustness_recovery.json for ``repro bench-diff``.  Scale
+factor is reduced as in bench_table3; override with REPRO_RECOVERY_SF.
+"""
+
+import json
+import os
+
+from repro.core.results import (
+    duration_cell,
+    render_table,
+    robustness_summary,
+)
+from repro.engine.errors import SimulatedCrash
+from repro.r3.appserver import R3System, R3Version
+from repro.r3.batchinput import LoadJournal
+from repro.sapschema.loader import load_sap_batch_input, recover_sap_system
+from repro.sim.faults import FaultProfile
+from repro.sim.params import SimParams
+from repro.tpcd.dbgen import generate
+
+LOAD_SF = float(os.environ.get("REPRO_RECOVERY_SF", "0.0005"))
+COMMIT_INTERVAL = 25
+#: wal_checkpoint_every_records sweep, tight to loose
+INTERVALS = (1000, 4000, 16000)
+
+
+def _dump(name: str, extra_info: dict) -> None:
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"name": name, "extra_info": extra_info, "stats": {}},
+                  handle, indent=2)
+        handle.write("\n")
+
+
+def _params(interval: int) -> SimParams:
+    params = SimParams()
+    params.wal_checkpoint_every_records = interval
+    return params
+
+
+def _durable_load(data, interval: int, crash_at: int | None = None):
+    """One durable checkpointed load; returns (r3, store, injector)."""
+    from repro.engine.wal import DurableStore
+
+    params = _params(interval)
+    store = DurableStore(params)
+    r3 = R3System(R3Version.V22, params=params, durability="wal",
+                  store=store)
+    profile = FaultProfile(name=f"recovery-bench-{interval}", seed=1997,
+                           crash_at_durability_op=crash_at)
+    injector = r3.attach_faults(profile)
+    journal = LoadJournal()
+    try:
+        load_sap_batch_input(r3, data, commit_interval=COMMIT_INTERVAL,
+                             journal=journal)
+    except SimulatedCrash:
+        pass
+    return r3, store, injector
+
+
+def _row_counts(r3):
+    return {name: r3.db.catalog.table(name).row_count
+            for name in r3.db.catalog.table_names}
+
+
+def test_robustness_recovery(benchmark):
+    data = generate(LOAD_SF)
+
+    def scenario():
+        # Seed: checkpointed batch input, durability off.
+        seed = R3System(R3Version.V22)
+        load_sap_batch_input(seed, data, commit_interval=COMMIT_INTERVAL,
+                             journal=LoadJournal())
+        per_interval = {}
+        for interval in INTERVALS:
+            clean, clean_store, injector = _durable_load(data, interval)
+            boundaries = injector.durability_ops
+            crashed, store, _ = _durable_load(
+                data, interval, crash_at=int(boundaries * 0.6))
+            recovered, journal, report = recover_sap_system(store)
+            load_sap_batch_input(recovered, data,
+                                 commit_interval=COMMIT_INTERVAL,
+                                 journal=journal)
+            per_interval[interval] = (clean, recovered, report)
+        return seed, per_interval
+
+    seed, per_interval = benchmark.pedantic(scenario, rounds=1,
+                                            iterations=1)
+
+    seed_time = seed.clock.now
+    seed_rows = _row_counts(seed)
+    seed_digest = seed.db.content_digest()
+
+    rows = [["off (seed)", duration_cell(seed_time), "-", "-", "-", "-"]]
+    extra = {"seed_load_s": round(seed_time, 1), "intervals": {}}
+    for interval in INTERVALS:
+        clean, recovered, report = per_interval[interval]
+        overhead = (clean.clock.now - seed_time) / seed_time
+        rows.append([
+            f"wal, ckpt every {interval:,}",
+            duration_cell(clean.clock.now),
+            f"{overhead:+.2%}",
+            f"{int(clean.metrics.get('wal.checkpoints')):,}",
+            duration_cell(report.recovery_s),
+            f"{report.redo_applied:,}",
+        ])
+        extra["intervals"][str(interval)] = {
+            "load_s": round(clean.clock.now, 1),
+            "wal_overhead_pct": round(100 * overhead, 3),
+            "checkpoints": int(clean.metrics.get("wal.checkpoints")),
+            "recovery_s": round(report.recovery_s, 3),
+            "redo_applied": report.redo_applied,
+            "undo_applied": report.undo_applied,
+            "loser_txns": report.loser_txns,
+            "log_pages_read": report.log_pages_read,
+        }
+
+    print()
+    print(render_table(
+        ["Durability", "Load time", "vs off", "Ckpts", "Recovery",
+         "Redo"],
+        rows,
+        title=f"WAL overhead and recovery at SF={LOAD_SF}, "
+              f"commit interval {COMMIT_INTERVAL}",
+    ))
+    tight = per_interval[INTERVALS[0]][2]
+    loose = per_interval[INTERVALS[-1]][2]
+    print(f"recovery {duration_cell(tight.recovery_s)} (tight) vs "
+          f"{duration_cell(loose.recovery_s)} (loose): tighter "
+          f"checkpoints buy {loose.redo_applied - tight.redo_applied:,} "
+          f"fewer redo records")
+    print()
+    print(robustness_summary(
+        per_interval[INTERVALS[0]][1].metrics,
+        title="Crash-run robustness counters (tight interval)"))
+
+    _dump("robustness_recovery", extra)
+    for key, value in extra["intervals"][str(INTERVALS[0])].items():
+        benchmark.extra_info[key] = value
+
+    # Acceptance: WAL + checkpoints cost < 8% on the Table-3 load.
+    for interval in INTERVALS:
+        clean = per_interval[interval][0]
+        assert 0 <= (clean.clock.now - seed_time) / seed_time < 0.08
+    # Recovery is row-identical to the fault-free load at every interval.
+    for interval in INTERVALS:
+        clean, recovered, report = per_interval[interval]
+        assert _row_counts(recovered) == seed_rows
+        assert recovered.db.content_digest() == seed_digest
+        assert clean.db.content_digest() == seed_digest
+        assert report.redo_applied >= 0
+    # Tight checkpoints replay less history than loose ones.
+    assert tight.redo_applied <= loose.redo_applied
+    assert tight.recovery_s <= loose.recovery_s

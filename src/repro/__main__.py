@@ -24,11 +24,22 @@ the benchmark-result differ:
 
     python -m repro bench-diff BENCH_old.json BENCH_new.json
 
-and the chaos harness (dispatcher-scheduled throughput under fault
+the chaos harness (dispatcher-scheduled throughput under fault
 storms; exits 1 if any robustness invariant is violated):
 
     python -m repro chaos --streams 4 --profile light --sf 0.001
     python -m repro chaos --streams 2,4,8 --profile all --chaos-out chaos.json
+
+the crash-point fuzzer (kill the engine at sampled WAL/checkpoint
+boundaries, recover, resume, compare digests; exits 1 on divergence):
+
+    python -m repro chaos --crash-fuzz --fuzz-workloads load --sf 0.0002
+    python -m repro chaos --crash-fuzz --fuzz-sample 12 --chaos-out fuzz.json
+
+and a single crash/recover demonstration printing the ARIES pass
+statistics:
+
+    python -m repro recover --sf 0.0002 --crash-at 120 --torn
 """
 
 from __future__ import annotations
@@ -158,6 +169,33 @@ def cmd_chaos(args) -> int:
         print("chaos: --format=chrome is only valid for 'trace'",
               file=sys.stderr)
         return 2
+    if args.crash_fuzz:
+        from repro.sim.crashfuzz import FUZZ_WORKLOADS, run_crash_fuzz
+
+        workloads = tuple(
+            part.strip() for part in args.fuzz_workloads.split(",")
+            if part.strip())
+        bad = [w for w in workloads if w not in FUZZ_WORKLOADS]
+        if bad:
+            print(f"chaos: unknown --fuzz-workloads entries {bad} "
+                  f"(choose from {', '.join(FUZZ_WORKLOADS)})",
+                  file=sys.stderr)
+            return 2
+        report = run_crash_fuzz(
+            scale_factor=args.sf, workloads=workloads,
+            commit_interval=args.commit_interval,
+            sample=args.fuzz_sample or None)
+        payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+        if args.chaos_out:
+            with open(args.chaos_out, "w") as handle:
+                handle.write(payload + "\n")
+        if args.format == "json":
+            print(payload)
+        else:
+            print(report.render())
+            if args.chaos_out:
+                print(f"report written to {args.chaos_out}")
+        return 0 if report.ok else 1
     try:
         stream_counts = tuple(
             int(part) for part in args.streams.split(",") if part.strip())
@@ -187,6 +225,46 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_recover(args) -> int:
+    import json
+
+    from repro.sim.crashfuzz import _WORKLOADS, _census, _run_trial
+    from repro.sim.params import SimParams
+    from repro.tpcd.dbgen import generate
+
+    workload = _WORKLOADS[args.fuzz_workloads.split(",")[0].strip()
+                          if args.fuzz_workloads else "load"]
+    data = generate(args.sf)
+    boundaries, kinds, reference = _census(
+        workload, data, args.commit_interval, SimParams)
+    k = args.crash_at if args.crash_at is not None \
+        else max(1, boundaries // 2)
+    if k > boundaries:
+        print(f"recover: --crash-at {k} exceeds the workload's "
+              f"{boundaries} durability boundaries", file=sys.stderr)
+        return 2
+    mode = "torn" if args.torn else "clean"
+    trial = _run_trial(workload, data, args.commit_interval, k, mode,
+                       reference, SimParams)
+    payload = json.dumps(trial.to_json(), indent=2, sort_keys=True)
+    if args.format == "json":
+        print(payload)
+    else:
+        print(f"workload {workload.name!r}: {boundaries} durability "
+              f"boundaries ({', '.join(sorted(kinds))})")
+        print(f"crashed at boundary {k} ({trial.kind}), "
+              f"mode {trial.mode}")
+        print(f"recovery: losers={trial.loser_txns} "
+              f"redo={trial.redo_applied} undo={trial.undo_applied} "
+              f"torn_tail_dropped={trial.torn_tail_dropped}")
+        print(f"resumed: {trial.resumed}; recovered digest "
+              f"{'matches' if trial.digest_ok else 'DIVERGES FROM'} "
+              f"the uncrashed reference")
+        if trial.error:
+            print(f"error: {trial.error}")
+    return 0 if trial.ok else 1
+
+
 def cmd_bench_diff(args) -> int:
     from repro.core.benchdiff import run_bench_diff
 
@@ -203,6 +281,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "bench-diff": cmd_bench_diff,
     "chaos": cmd_chaos,
+    "recover": cmd_recover,
     "dbsize": cmd_dbsize,
     "loading": cmd_loading,
     "plan-trap": cmd_plan_trap,
@@ -264,6 +343,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--chaos-out", default=None,
                        help="also write the JSON chaos report to this "
                             "file")
+    fuzz = parser.add_argument_group("crash-fuzz / recover")
+    fuzz.add_argument("--crash-fuzz", action="store_true",
+                      help="chaos: run the crash-point fuzz sweep "
+                           "instead of the throughput sweep")
+    fuzz.add_argument("--fuzz-workloads", default="load",
+                      help="comma-separated crash-fuzz workloads "
+                           "(load, uf, power; default load)")
+    fuzz.add_argument("--fuzz-sample", type=int, default=24,
+                      help="sampled crash points per workload "
+                           "(default 24; 0 = every boundary)")
+    fuzz.add_argument("--commit-interval", type=int, default=8,
+                      help="batch-input commit interval for the fuzzed "
+                           "load (default 8)")
+    fuzz.add_argument("--crash-at", type=int, default=None,
+                      help="recover: durability boundary to crash at "
+                           "(default: the middle one)")
+    fuzz.add_argument("--torn", action="store_true",
+                      help="recover: leave the in-flight frame torn on "
+                           "the log tail")
     return parser
 
 

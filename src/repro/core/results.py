@@ -38,7 +38,16 @@ def kb_cell(byte_count: int) -> str:
 
 
 #: (metric name, printed label, 'count'|'duration') — the robustness
-#: counters every fault-aware bench reports next to its timings
+#: counters every fault-aware bench reports next to its timings.
+#:
+#: Error taxonomy behind the fault counters: *transient* errors
+#: (``TransientError``: disk hiccups, connection drops, statement
+#: timeouts, ``TornWriteError`` on a log tail) are retried or walked
+#: past — the work survives; *permanent* errors (``PermanentError``:
+#: ``WalCorruptionError`` mid-log, conversion errors) abort the
+#: operation — retrying cannot help; ``SimulatedCrash`` is neither —
+#: it kills the process, and no retry ladder may swallow it (only
+#: ARIES recovery on reopen undoes its damage).
 ROBUSTNESS_COUNTERS = [
     ("faults.disk_io_injected", "Disk I/O faults injected", "count"),
     ("faults.connection_drops_injected", "Connection drops injected",
@@ -63,6 +72,19 @@ ROBUSTNESS_COUNTERS = [
     ("dispatcher.queue_wait_s", "Dispatcher queue wait", "duration"),
     ("dbif.breaker.open", "Circuit breaker opened", "count"),
     ("dbif.breaker.fast_fails", "Breaker fast-fails", "count"),
+    ("faults.torn_writes_injected", "Torn log writes injected", "count"),
+    ("wal.commits", "WAL transactions committed", "count"),
+    ("wal.autocommits", "WAL autocommitted mutations", "count"),
+    ("wal.checkpoints", "Fuzzy checkpoints written", "count"),
+    ("wal.checkpoint_pages", "Checkpoint pages flushed", "count"),
+    ("wal.segments_rotated", "WAL segments rotated", "count"),
+    ("wal.segments_truncated", "WAL segments truncated", "count"),
+    ("recovery.runs", "ARIES recovery runs", "count"),
+    ("recovery.redo_applied", "Redo records replayed", "count"),
+    ("recovery.undo_applied", "Loser records undone", "count"),
+    ("recovery.loser_txns", "Loser transactions", "count"),
+    ("recovery.torn_tail_dropped", "Torn log tails dropped", "count"),
+    ("recovery.time_s", "Recovery time", "duration"),
 ]
 
 

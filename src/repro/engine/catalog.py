@@ -32,27 +32,39 @@ class Catalog:
 
     # -- tables ----------------------------------------------------------
 
-    def create_table(self, schema: TableSchema) -> Table:
+    def create_table(self, schema: TableSchema,
+                     attach_pk: bool = True) -> Table:
+        """Create a table (and, by default, its primary-key index).
+
+        Recovery passes ``attach_pk=False`` so it can load the heap's
+        checkpointed slots first and build the index over them in one
+        pass via :meth:`attach_primary`.
+        """
         name = schema.name.lower()
         if name in self._tables or name in self._views:
             raise CatalogError(f"{schema.name} already exists")
         table = Table(schema, self._buffer, self._clock, self._metrics,
                       self._params)
         self._tables[name] = table
-        if schema.primary_key:
-            pk = BTreeIndex(
-                name=f"pk_{name}",
-                schema=schema,
-                column_names=list(schema.primary_key),
-                unique=True,
-                buffer_pool=self._buffer,
-                clock=self._clock,
-                metrics=self._metrics,
-                traverse_cpu_s=self._params.index_traverse_s,
-                page_size_bytes=self._params.page_size_bytes,
-            )
-            table.attach_index(pk, is_primary=True)
+        if schema.primary_key and attach_pk:
+            self.attach_primary(table)
         return table
+
+    def attach_primary(self, table: Table) -> BTreeIndex:
+        """Build and attach the primary-key B-tree over the current heap."""
+        pk = BTreeIndex(
+            name=f"pk_{table.name}",
+            schema=table.schema,
+            column_names=list(table.schema.primary_key),
+            unique=True,
+            buffer_pool=self._buffer,
+            clock=self._clock,
+            metrics=self._metrics,
+            traverse_cpu_s=self._params.index_traverse_s,
+            page_size_bytes=self._params.page_size_bytes,
+        )
+        table.attach_index(pk, is_primary=True)
+        return pk
 
     def drop_table(self, name: str) -> None:
         table = self.table(name)
@@ -104,6 +116,11 @@ class Catalog:
         table.attach_index(index)
         return index
 
+    def has_index(self, index_name: str) -> bool:
+        lowered = index_name.lower()
+        return any(lowered in table.indexes
+                   for table in self._tables.values())
+
     def drop_index(self, index_name: str) -> None:
         lowered = index_name.lower()
         for table in self._tables.values():
@@ -134,3 +151,7 @@ class Catalog:
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
+
+    @property
+    def view_names(self) -> list[str]:
+        return sorted(self._views)

@@ -18,12 +18,13 @@ Table 6 optimizer trap).
 from __future__ import annotations
 
 import copy
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.buffer import BufferPool
-from repro.engine.errors import PlanError
+from repro.engine.errors import ExecutionError, PlanError
 from repro.engine.exec.base import ExecContext
 from repro.engine.expr import Expr, OutputSchema, predicate_holds
 from repro.engine.parallel import ParallelPolicy, PartitionManager
@@ -38,6 +39,13 @@ from repro.engine.sql.ast import (
 )
 from repro.engine.sql.parser import parse_select, parse_sql
 from repro.engine.stats import TableStats, analyze
+from repro.engine.wal import (
+    CheckpointImage,
+    DurableStore,
+    WriteAheadLog,
+    schema_from_payload,
+    schema_to_payload,
+)
 from repro.sim.clock import SimulatedClock
 from repro.sim.disk import DiskModel
 from repro.sim.metrics import MetricsCollector
@@ -100,10 +108,21 @@ class PreparedStatement:
 
 
 class Database:
-    """An isolated engine instance with its own simulated clock."""
+    """An isolated engine instance with its own simulated clock.
+
+    ``durability`` selects the storage contract: ``"off"`` (default)
+    keeps the historical volatile behaviour with zero WAL touchpoints —
+    the tick-for-tick identical pre-durability path — while ``"wal"``
+    write-ahead-logs every mutation into a :class:`DurableStore` that
+    survives a simulated crash.  A crashed store is reopened with
+    :meth:`Database.open`, which runs ARIES-style recovery before
+    handing the database back.
+    """
 
     def __init__(self, params: SimParams | None = None,
-                 name: str = "db", degree: int = 1) -> None:
+                 name: str = "db", degree: int = 1,
+                 durability: str = "off",
+                 store: DurableStore | None = None) -> None:
         self.name = name
         self.params = params or SimParams()
         self.clock = SimulatedClock()
@@ -115,6 +134,7 @@ class Database:
             write_s=self.params.write_s,
             retry_penalty_s=self.params.disk_retry_penalty_s,
             max_retries=self.params.disk_max_retries,
+            fsync_s=self.params.wal_fsync_s,
         )
         capacity = max(
             1, self.params.buffer_pool_bytes // self.params.page_size_bytes
@@ -135,6 +155,18 @@ class Database:
         #: version-checked partition overlays for parallel scans
         self.partitions = PartitionManager(self.ctx)
         self._partition_choices: dict[str, tuple[str, str]] = {}
+        #: view name -> CREATE VIEW select text (for checkpoint images)
+        self._view_sql: dict[str, str] = {}
+        if durability not in ("off", "wal"):
+            raise PlanError(f"unknown durability mode {durability!r}")
+        #: the write-ahead log, or None with durability off
+        self.wal: WriteAheadLog | None = None
+        if durability == "wal":
+            wal_store = store if store is not None else DurableStore(
+                self.params)
+            self.wal = WriteAheadLog(wal_store, self.clock, self.metrics,
+                                     self.disk, self.params)
+            self.wal.snapshot_provider = self._snapshot_for_checkpoint
         self.degree = 1
         if degree > 1:
             self.set_degree(degree)
@@ -198,25 +230,46 @@ class Database:
     # -- DDL ----------------------------------------------------------------
 
     def create_table(self, schema: TableSchema):
-        return self.catalog.create_table(schema)
+        table = self.catalog.create_table(schema)
+        table.wal = self.wal
+        if self.wal is not None:
+            self.wal.log_ddl(("create_table", schema_to_payload(schema)))
+        return table
 
     def drop_table(self, name: str) -> None:
         self.catalog.drop_table(name)
         self.stats.pop(name.lower(), None)
+        if self.wal is not None:
+            self.wal.log_ddl(("drop_table", name.lower()))
 
     def create_index(self, index_name: str, table_name: str,
                      column_names: list[str], unique: bool = False):
-        return self.catalog.create_index(index_name, table_name,
-                                         column_names, unique=unique)
+        index = self.catalog.create_index(index_name, table_name,
+                                          column_names, unique=unique)
+        if self.wal is not None:
+            self.wal.log_ddl(("create_index", {
+                "name": index.name, "table": table_name.lower(),
+                "columns": list(index.column_names), "unique": unique,
+                "kind": "btree",
+            }))
+        return index
 
     def drop_index(self, index_name: str) -> None:
         self.catalog.drop_index(index_name)
+        if self.wal is not None:
+            self.wal.log_ddl(("drop_index", index_name.lower()))
 
     def create_view(self, name: str, select_sql: str) -> None:
         self.catalog.create_view(name, parse_select(select_sql))
+        self._view_sql[name.lower()] = select_sql
+        if self.wal is not None:
+            self.wal.log_ddl(("create_view", name.lower(), select_sql))
 
     def drop_view(self, name: str) -> None:
         self.catalog.drop_view(name)
+        self._view_sql.pop(name.lower(), None)
+        if self.wal is not None:
+            self.wal.log_ddl(("drop_view", name.lower()))
 
     # -- statistics -----------------------------------------------------------
 
@@ -279,7 +332,21 @@ class Database:
                      sql: str | None = None) -> Result:
         with self.tracer.span("db.dml", sql=sql,
                               kind=type(stmt).__name__) as span:
-            result = self._dispatch_dml(stmt, params)
+            wal = self.wal
+            if wal is not None and not wal.in_txn and not wal.dead \
+                    and not wal.recovering:
+                # Statement-level transaction: a multi-row UPDATE or
+                # DELETE group-commits once instead of forcing the log
+                # per mutated row.  Committed even if the statement
+                # errors mid-way — the log must mirror whatever partial
+                # effects stayed in memory (there is no statement undo).
+                wal.begin()
+                try:
+                    result = self._dispatch_dml(stmt, params)
+                finally:
+                    wal.commit()
+            else:
+                result = self._dispatch_dml(stmt, params)
             span.set(rows=result.scalar())
             return result
 
@@ -399,10 +466,21 @@ class Database:
         """Bulk-load rows (page-at-a-time writes, the fast path SAP's
         batch input never uses)."""
         table = self.catalog.table(table_name)
-        count = 0
-        for row in rows:
-            table.insert(row, bulk=True)
-            count += 1
+        wal = self.wal
+        own_txn = wal is not None and not wal.in_txn and not wal.dead \
+            and not wal.recovering
+        if own_txn:
+            assert wal is not None
+            wal.begin()
+        try:
+            count = 0
+            for row in rows:
+                table.insert(row, bulk=True)
+                count += 1
+        finally:
+            if own_txn:
+                assert wal is not None
+                wal.commit()
         self.metrics.count(f"db.bulk_loaded.{table.name}", count)
         return count
 
@@ -419,6 +497,185 @@ class Database:
                 "index_bytes": table.index_bytes,
             }
         return report
+
+    # -- durability ---------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open an explicit transaction (no-op with durability off)."""
+        if self.wal is not None:
+            self.wal.begin()
+
+    def commit(self, journal: bytes | None = None) -> None:
+        """Group-commit the open transaction (no-op with durability off).
+
+        ``journal`` is an opaque application payload made durable
+        atomically with the commit record (batch input's restart
+        journal rides here).
+        """
+        if self.wal is not None:
+            self.wal.commit(journal)
+
+    def checkpoint(self) -> None:
+        """Write a fuzzy checkpoint (no-op with durability off)."""
+        if self.wal is not None:
+            self.wal.checkpoint()
+
+    def crash(self) -> DurableStore:
+        """Kill this engine instance, keeping only durable state.
+
+        Returns the frozen :class:`DurableStore`; the caller discards
+        this instance and reopens the store via :meth:`Database.open`.
+        """
+        if self.wal is None:
+            raise ExecutionError("crash() requires durability='wal'")
+        self.wal.die()
+        return self.wal.store
+
+    @classmethod
+    def open(cls, store: DurableStore, params: SimParams | None = None,
+             name: str = "db", degree: int = 1):
+        """Reopen a durable store, running crash recovery first.
+
+        Returns ``(database, recovery_report)``.  This is the only
+        supported way to attach an engine to a store that already
+        carries log frames or a checkpoint image.
+        """
+        from repro.engine.recovery import RecoveryManager
+
+        store.thaw()
+        db = cls(params=params or store.params, name=name, degree=degree,
+                 durability="wal", store=store)
+        report = RecoveryManager(db).run()
+        return db, report
+
+    def content_digest(self) -> str:
+        """SHA-256 over the logical database content.
+
+        Covers every table's schema, sorted live rows, and index names,
+        plus the view names — the comparator the crash-point fuzzer
+        uses for "recovered ≡ reference".  Deliberately *logical*:
+        tombstone layout may differ between a reference run and a
+        crashed-undone-redone run without any observable difference.
+        Charges nothing to the clock (a harness probe, not a query).
+        """
+        digest = hashlib.sha256()
+        for table_name in self.catalog.table_names:
+            table = self.catalog.table(table_name)
+            digest.update(b"T")
+            digest.update(table_name.encode())
+            digest.update(repr(schema_to_payload(table.schema)).encode())
+            for row_repr in sorted(
+                repr(row) for _rowid, row in table.heap.scan()
+            ):
+                digest.update(row_repr.encode())
+            digest.update(repr(sorted(table.indexes)).encode())
+        for view_name in self.catalog.view_names:
+            digest.update(b"V")
+            digest.update(view_name.encode())
+        return digest.hexdigest()
+
+    # -- recovery plumbing (driven by repro.engine.recovery) -----------------------
+
+    def _snapshot_for_checkpoint(self):
+        """(catalog payload, slot arrays) for a checkpoint image.
+
+        Slot copies are free on the simulated clock; the checkpoint's
+        I/O is charged separately from the dirty-page table, mirroring
+        an incremental fuzzy checkpoint that only writes what changed.
+        """
+        indexes = []
+        for table_name in self.catalog.table_names:
+            table = self.catalog.table(table_name)
+            for index in table.indexes.values():
+                if index is table.primary_index:
+                    continue
+                indexes.append({
+                    "name": index.name, "table": table.name,
+                    "columns": list(index.column_names),
+                    "unique": index.unique,
+                    "kind": ("hash" if type(index).__name__ == "HashIndex"
+                             else "btree"),
+                })
+        catalog_payload = {
+            "tables": [
+                schema_to_payload(self.catalog.table(n).schema)
+                for n in self.catalog.table_names
+            ],
+            "indexes": indexes,
+            "views": dict(self._view_sql),
+        }
+        slots = {
+            n: self.catalog.table(n).heap.snapshot_slots()
+            for n in self.catalog.table_names
+        }
+        return catalog_payload, slots
+
+    def _restore_from_image(self, image: CheckpointImage) -> None:
+        """Rebuild catalog + heaps from a checkpoint image (recovery).
+
+        Charges one sequential read per restored heap page.  The WAL's
+        ``recovering`` flag must be set by the caller so none of this
+        re-logs.
+        """
+        for table_payload in image.catalog["tables"]:
+            schema = schema_from_payload(table_payload)
+            table = self.catalog.create_table(schema, attach_pk=False)
+            table.wal = self.wal
+            table.heap.load_slots(image.tables.get(table.name, []))
+            for _ in range(table.heap.page_count):
+                self.disk.read_page(sequential=True)
+            if schema.primary_key:
+                self.catalog.attach_primary(table)
+        for index_spec in image.catalog["indexes"]:
+            self.catalog.create_index(
+                index_spec["name"], index_spec["table"],
+                list(index_spec["columns"]), unique=index_spec["unique"],
+                kind=index_spec.get("kind", "btree"),
+            )
+        for view_name, view_sql in sorted(image.catalog["views"].items()):
+            self.create_view(view_name, view_sql)
+
+    def _apply_ddl(self, op: tuple) -> None:
+        """Redo one logged DDL operation."""
+        verb = op[0]
+        if verb == "create_table":
+            self.create_table(schema_from_payload(op[1]))
+        elif verb == "drop_table":
+            self.drop_table(op[1])
+        elif verb == "create_index":
+            spec = op[1]
+            self.catalog.create_index(
+                spec["name"], spec["table"], list(spec["columns"]),
+                unique=spec["unique"], kind=spec.get("kind", "btree"),
+            )
+        elif verb == "drop_index":
+            self.drop_index(op[1])
+        elif verb == "create_view":
+            self.create_view(op[1], op[2])
+        elif verb == "drop_view":
+            self.drop_view(op[1])
+        else:
+            raise ExecutionError(f"unknown DDL verb in WAL: {verb!r}")
+
+    def _undo_ddl(self, op: tuple) -> None:
+        """Reverse a loser transaction's DDL.
+
+        Creations reverse cleanly (drop the object).  Drops cannot be
+        reversed — the dropped data is gone — which is why the engine
+        only ever logs drops in autocommit transactions (they commit
+        before anything else can fail around them).
+        """
+        verb = op[0]
+        if verb == "create_table":
+            self.drop_table(op[1]["name"])
+        elif verb == "create_index":
+            self.drop_index(op[1]["name"])
+        elif verb == "create_view":
+            self.drop_view(op[1])
+        else:
+            raise ExecutionError(
+                f"cannot undo DDL {verb!r} of a loser transaction"
+            )
 
     # -- misc ----------------------------------------------------------------------
 

@@ -11,6 +11,19 @@ Two branches matter for robustness handling:
 
 Everything still derives from :class:`EngineError`, so existing
 ``except EngineError`` sites keep working unchanged.
+
+Durability adds two WAL-specific members with deliberate placement:
+
+* :class:`TornWriteError` is *transient* — a torn (truncated) frame on
+  the log **tail** is the expected signature of a crash mid-flush, and
+  recovery handles it by dropping the tail record.
+* :class:`WalCorruptionError` is *permanent* — a CRC mismatch in the
+  middle of the log means durable history is damaged; no retry or
+  recovery pass can reconstruct it.
+* :class:`SimulatedCrash` derives from :class:`EngineError` directly,
+  on purpose outside both branches: a crash kills the whole engine
+  process, so neither the disk retry loop nor the DBIF backoff ladder
+  may swallow it.
 """
 
 
@@ -24,6 +37,15 @@ class TransientError(EngineError):
 
 class PermanentError(EngineError):
     """An error retrying cannot fix; must propagate to the caller."""
+
+
+class SimulatedCrash(EngineError):
+    """The simulated engine process died (crash-point fuzzing).
+
+    Deliberately neither transient nor permanent: no in-process retry
+    handler is allowed to catch-and-continue past a dead engine.  The
+    harness discards the instance and reopens from the durable store.
+    """
 
 
 # -- transient branch -------------------------------------------------------
@@ -50,6 +72,15 @@ class CircuitOpenError(TransientError):
     cooldown elapses."""
 
 
+class TornWriteError(TransientError):
+    """A WAL frame on the log tail is truncated (torn write).
+
+    The classic crash-mid-flush signature: the length prefix promises
+    more bytes than the device persisted, or the CRC of the final frame
+    does not match.  Transient because recovery resolves it without
+    data loss — the torn record was never acknowledged as committed."""
+
+
 # -- permanent branch -------------------------------------------------------
 
 class SqlSyntaxError(PermanentError):
@@ -74,3 +105,11 @@ class TypeError_(PermanentError):
 
 class ConstraintError(PermanentError):
     """Primary-key or not-null violation."""
+
+
+class WalCorruptionError(PermanentError):
+    """A WAL frame *before* the log tail fails CRC validation.
+
+    Unlike a torn tail, mid-log corruption means acknowledged history
+    is gone; replaying past the hole would silently diverge, so the
+    error is permanent and recovery refuses to proceed."""

@@ -5,17 +5,103 @@ layer), but pages are tracked exactly: each heap knows how many rows
 fit a page given its schema's row width, so full scans charge the right
 number of sequential page reads and the storage accountant can produce
 the paper's Table 2 byte counts.
+
+:class:`StorageBackend` is the abstract slice of this contract that
+the rest of the engine (tables, executors, the WAL, recovery) relies
+on.  The heap is the first implementation; the planned LSM backend
+plugs in behind the same interface.
 """
 
 from __future__ import annotations
 
+import abc
 from typing import Iterator
 
 from repro.engine.errors import ExecutionError
 from repro.engine.schema import TableSchema
 
 
-class HeapFile:
+class StorageBackend(abc.ABC):
+    """Physical row storage for one table.
+
+    The contract every backend must honour:
+
+    * rowids are stable for the lifetime of a row — once handed out a
+      rowid never moves to a different row (deletes tombstone);
+    * ``version`` increases on every mutation (partition overlays and
+      caches key their snapshots on it);
+    * the slot-restoration API (:meth:`restore_slot`, :meth:`put_slot`,
+      :meth:`snapshot_slots`, :meth:`load_slots`) lets checkpointing
+      capture — and recovery rebuild — the *exact* physical state,
+      tombstones included, so redo replay is idempotent.
+    """
+
+    # -- mutation -------------------------------------------------------
+
+    @abc.abstractmethod
+    def append(self, row: tuple) -> int:
+        """Store ``row`` and return its rowid."""
+
+    @abc.abstractmethod
+    def delete(self, rowid: int) -> None:
+        """Tombstone a live row."""
+
+    @abc.abstractmethod
+    def update(self, rowid: int, row: tuple) -> None:
+        """Replace a live row in place."""
+
+    # -- access ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def fetch(self, rowid: int) -> tuple:
+        """The live row at ``rowid`` (raises on tombstones)."""
+
+    @abc.abstractmethod
+    def get(self, rowid: int) -> tuple | None:
+        """The row at ``rowid``, or ``None`` for a tombstone."""
+
+    @abc.abstractmethod
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield (rowid, row) for every live row, storage order."""
+
+    # -- checkpoint / recovery ------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot_slots(self) -> list[tuple | None]:
+        """A copy of the full slot array (tombstones included)."""
+
+    @abc.abstractmethod
+    def load_slots(self, slots: list[tuple | None]) -> None:
+        """Replace all slots wholesale (checkpoint-image restore)."""
+
+    @abc.abstractmethod
+    def restore_slot(self, rowid: int, row: tuple) -> None:
+        """Place ``row`` at exactly ``rowid`` (redo replay)."""
+
+    @abc.abstractmethod
+    def put_slot(self, rowid: int, row: tuple | None) -> None:
+        """Overwrite slot ``rowid`` (undo: tombstone or old image)."""
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def row_count(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def page_count(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def data_bytes(self) -> int: ...
+
+    @abc.abstractmethod
+    def page_of(self, rowid: int) -> int:
+        """Page number holding ``rowid``."""
+
+
+class HeapFile(StorageBackend):
     """Slotted-row heap for one table.
 
     Row ids are stable list positions; deletes leave tombstones
@@ -83,6 +169,44 @@ class HeapFile:
 
     def _slot_live(self, rowid: int) -> bool:
         return 0 <= rowid < len(self._rows) and self._rows[rowid] is not None
+
+    # -- checkpoint / recovery ------------------------------------------
+
+    def snapshot_slots(self) -> list[tuple | None]:
+        return list(self._rows)
+
+    def load_slots(self, slots: list[tuple | None]) -> None:
+        self._rows = list(slots)
+        self._live = sum(1 for row in self._rows if row is not None)
+        self.version += 1
+
+    def restore_slot(self, rowid: int, row: tuple) -> None:
+        """Redo an insert at its original position.
+
+        Replay must land rows at the rowids the original run assigned,
+        or every later record's rowid references would dangle.  Gaps
+        (possible when an undone loser left tombstones that a fresher
+        checkpoint never captured) are padded with tombstones.
+        """
+        if rowid < len(self._rows):
+            if self._rows[rowid] is not None:
+                raise ExecutionError(
+                    f"redo insert into occupied slot {rowid}"
+                )
+            self._rows[rowid] = row
+        else:
+            self._rows.extend([None] * (rowid - len(self._rows)))
+            self._rows.append(row)
+        self._live += 1
+        self.version += 1
+
+    def put_slot(self, rowid: int, row: tuple | None) -> None:
+        if not 0 <= rowid < len(self._rows):
+            raise ExecutionError(f"put_slot of unknown rowid {rowid}")
+        was_live = self._rows[rowid] is not None
+        self._rows[rowid] = row
+        self._live += (row is not None) - was_live
+        self.version += 1
 
     # -- accounting -------------------------------------------------------
 

@@ -41,6 +41,9 @@ class Table:
         self.heap = HeapFile(schema, params.page_size_bytes)
         self.indexes: dict[str, Index] = {}
         self._pk_index: Index | None = None
+        #: the database's WriteAheadLog, or None when durability is off
+        #: (the zero-touch default); set by Database at create time
+        self.wal = None
 
     # -- index management -------------------------------------------------
 
@@ -91,6 +94,9 @@ class Table:
             self._buffer.write(self.name, self.heap.page_of(rowid))
         for index in self.indexes.values():
             index.insert(row, rowid, bulk=bulk)
+        if self.wal is not None:
+            self.wal.log_insert(self.name, rowid, row,
+                                self.heap.page_of(rowid))
         return rowid
 
     def delete(self, rowid: int) -> None:
@@ -100,6 +106,9 @@ class Table:
         self.heap.delete(rowid)
         self._metrics.count(f"table.{self.name}.deletes")
         self._buffer.write(self.name, self.heap.page_of(rowid))
+        if self.wal is not None:
+            self.wal.log_delete(self.name, rowid, row,
+                                self.heap.page_of(rowid))
 
     def update(self, rowid: int, new_row: tuple) -> None:
         new_row = self.schema.validate_row(new_row)
@@ -111,6 +120,23 @@ class Table:
             index.insert(new_row, rowid)
         self._metrics.count(f"table.{self.name}.updates")
         self._buffer.write(self.name, self.heap.page_of(rowid))
+        if self.wal is not None:
+            self.wal.log_update(self.name, rowid, old_row, new_row,
+                                self.heap.page_of(rowid))
+
+    def apply_insert(self, rowid: int, row: tuple) -> None:
+        """Replay an insert at its original rowid (redo / undo-of-delete).
+
+        Skips validation and the primary-key probe — the logged row
+        already passed both on the original run — but charges the same
+        physical costs (page write, index maintenance) a replayed
+        insert pays during recovery.
+        """
+        self.heap.restore_slot(rowid, row)
+        self._metrics.count(f"table.{self.name}.inserts")
+        self._buffer.write(self.name, self.heap.page_of(rowid))
+        for index in self.indexes.values():
+            index.insert(row, rowid)
 
     def _check_primary_key(self, row: tuple) -> None:
         if not self.schema.primary_key or self._pk_index is None:

@@ -52,10 +52,22 @@ class R3System:
         params: SimParams | None = None,
         client: str = DEFAULT_CLIENT,
         degree: int = 1,
+        durability: str = "off",
+        store=None,
+        database: Database | None = None,
     ) -> None:
         self.version = version
-        self.params = params or SimParams()
-        self.db = Database(params=self.params, name="sapdb", degree=degree)
+        if database is not None:
+            # Attach to an existing engine (typically one that just ran
+            # crash recovery via Database.open); schema re-activation is
+            # idempotent against its recovered catalog.
+            self.params = database.params
+            self.db = database
+        else:
+            self.params = params or SimParams()
+            self.db = Database(params=self.params, name="sapdb",
+                               degree=degree, durability=durability,
+                               store=store)
         self.clock = self.db.clock
         self.metrics = self.db.metrics
         #: shared hierarchical tracer (one tree across all tiers)
@@ -112,11 +124,15 @@ class R3System:
             injector = profile_or_injector
         self.faults = injector
         self.db.disk.faults = injector
+        if self.db.wal is not None:
+            self.db.wal.faults = injector
         return injector
 
     def detach_faults(self) -> None:
         self.faults = None
         self.db.disk.faults = None
+        if self.db.wal is not None:
+            self.db.wal.faults = None
 
     # -- cost charging -------------------------------------------------------
 
@@ -137,21 +153,26 @@ class R3System:
     def define_pool(self, name: str) -> PoolContainer:
         container = PoolContainer(name)
         self.pools[container.name] = container
-        self.db.create_table(container.physical_schema())
+        # Idempotent against a crash-recovered engine whose catalog
+        # already carries the physical container.
+        if not self.db.catalog.has_table(container.name):
+            self.db.create_table(container.physical_schema())
         return container
 
     def define_cluster(self, name: str,
                        key_fields: list[DDicField]) -> ClusterContainer:
         container = ClusterContainer(name, key_fields)
         self.clusters[container.name] = container
-        self.db.create_table(container.physical_schema())
+        if not self.db.catalog.has_table(container.name):
+            self.db.create_table(container.physical_schema())
         return container
 
     def activate_table(self, table: DDicTable) -> DDicTable:
         """Register a logical table and create transparent storage."""
         self.ddic.define(table)
         if table.kind is TableKind.TRANSPARENT:
-            self.db.create_table(table.to_table_schema())
+            if not self.db.catalog.has_table(table.name):
+                self.db.create_table(table.to_table_schema())
         elif table.kind is TableKind.POOL:
             if table.container not in self.pools:
                 raise DDicError(

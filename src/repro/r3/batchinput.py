@@ -23,8 +23,11 @@ duplicates.
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 
+from repro.engine.errors import TornWriteError
+from repro.engine.wal import frame_payload, unframe_payload
 from repro.r3.errors import BatchInputError
 
 
@@ -78,6 +81,73 @@ class LoadJournal:
     def phase(self, name: str) -> PhaseProgress:
         return self.phases.setdefault(name, PhaseProgress())
 
+    # -- wire format (rides inside engine COMMIT records) -----------------
+
+    def to_wire(self) -> bytes:
+        """Serialize to one CRC-framed record.
+
+        With engine durability on, every batch-input checkpoint commits
+        this payload atomically with the batch's rows (it rides in the
+        WAL COMMIT record), so the restart journal can never describe
+        rows the database does not have, or vice versa.
+        """
+        state = {
+            "setup_done": self.setup_done,
+            "phases": {
+                name: (p.transactions_committed, p.batches_committed,
+                       p.complete)
+                for name, p in self.phases.items()
+            },
+        }
+        return frame_payload(repr(state).encode("utf-8"))
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "LoadJournal":
+        """Parse one wire record; :class:`TornWriteError` on any damage.
+
+        A truncated or bit-flipped record — the residue of a crash in
+        the middle of the checkpoint write — is reported as torn rather
+        than crashing the resume path; callers fall back to an earlier
+        record via :meth:`recover`.
+        """
+        payload = unframe_payload(data)
+        try:
+            state = ast.literal_eval(payload.decode("utf-8"))
+            phase_states = dict(state["phases"])
+        except (ValueError, SyntaxError, UnicodeDecodeError, KeyError,
+                TypeError) as exc:
+            raise TornWriteError(
+                f"undecodable journal record: {exc}"
+            ) from exc
+        journal = cls()
+        journal.setup_done = bool(state.get("setup_done", False))
+        for name, (committed, batches, complete) in phase_states.items():
+            journal.phases[name] = PhaseProgress(
+                transactions_committed=committed,
+                batches_committed=batches,
+                complete=complete,
+            )
+        return journal
+
+    @classmethod
+    def recover(cls, history) -> "LoadJournal":
+        """Latest readable journal from a history of wire records.
+
+        Walks the history backwards past torn entries: a crash during a
+        checkpoint's journal write must fall back to the *previous*
+        checkpoint, not raise.  An empty or wholly unreadable history
+        yields a fresh journal (the load restarts from scratch, which
+        is always safe — replay is idempotent).
+        """
+        for data in reversed(list(history)):
+            if data is None:
+                continue
+            try:
+                return cls.from_wire(data)
+            except TornWriteError:
+                continue
+        return cls()
+
 
 class BatchInputSession:
     """Processes batch transactions against one R/3 system.
@@ -103,12 +173,32 @@ class BatchInputSession:
         #: physical (table, rowid) pairs inserted since the last checkpoint
         self._undo: list[tuple[str, int]] = []
         self._uncommitted = 0
+        #: engine-level durability: when the backing Database runs with
+        #: a WAL, batch work is wrapped in engine transactions and every
+        #: checkpoint commits the journal payload atomically with its
+        #: rows.  With durability off this flag is False and the session
+        #: behaves tick-for-tick as before.
+        self._durable = getattr(r3.db, "wal", None) is not None
 
     @property
     def _checkpointing(self) -> bool:
         return self.journal is not None
 
     def run(self, transaction: BatchTransaction) -> None:
+        db = self._r3.db
+        own_txn = self._durable and not db.wal.dead and not db.wal.in_txn
+        if own_txn:
+            db.begin()
+        try:
+            self._run_transaction(transaction)
+        finally:
+            if own_txn:
+                # Commit even when the transaction failed mid-way: the
+                # log must mirror whatever reached memory (there is no
+                # statement-level undo; app rollback is compensation).
+                db.commit()
+
+    def _run_transaction(self, transaction: BatchTransaction) -> None:
         r3 = self._r3
         params = r3.params
         # Work-process crash hook: crashes land on transaction
@@ -182,42 +272,68 @@ class BatchInputSession:
         self._uncommitted = 0
         try:
             for transaction in iterator:
+                if self._durable and not r3.db.wal.dead \
+                        and not r3.db.wal.in_txn:
+                    # One engine transaction per commit batch: recovery
+                    # undoes exactly the rows the journal does not yet
+                    # record as committed.
+                    r3.db.begin()
                 self.run(transaction)
                 self._uncommitted += 1
                 if self.commit_interval is not None \
                         and self._uncommitted >= self.commit_interval:
                     self._checkpoint(progress)
-            self._checkpoint(progress)
+            self._checkpoint(progress, final=True)
             progress.complete = True
         except BaseException:
             self._rollback_uncommitted()
             raise
         return self.stats
 
-    def _checkpoint(self, progress: PhaseProgress) -> None:
-        """Commit the open batch: journal write + undo-log reset."""
-        if not self._uncommitted:
+    def _checkpoint(self, progress: PhaseProgress,
+                    final: bool = False) -> None:
+        """Commit the open batch: journal write + undo-log reset.
+
+        With engine durability on, the journal's wire record rides in
+        the engine COMMIT that makes the batch's rows durable — one
+        atomic unit.  ``final`` additionally commits the phase's
+        ``complete`` flag even when the last batch was empty.
+        """
+        if not self._uncommitted and not (final and self._durable):
             return
         r3 = self._r3
-        r3.clock.charge(r3.params.checkpoint_s)
-        r3.metrics.count("batchinput.checkpoints")
-        r3.metrics.count("batchinput.checkpoint_overhead_s",
-                         r3.params.checkpoint_s)
-        progress.transactions_committed += self._uncommitted
-        progress.batches_committed += 1
-        self._uncommitted = 0
-        self._undo.clear()
+        if self._uncommitted:
+            r3.clock.charge(r3.params.checkpoint_s)
+            r3.metrics.count("batchinput.checkpoints")
+            r3.metrics.count("batchinput.checkpoint_overhead_s",
+                             r3.params.checkpoint_s)
+            progress.transactions_committed += self._uncommitted
+            progress.batches_committed += 1
+            self._uncommitted = 0
+            self._undo.clear()
+        if final:
+            progress.complete = True
+        if self._durable and not r3.db.wal.dead:
+            if not r3.db.wal.in_txn:
+                r3.db.begin()
+            r3.db.commit(journal=self.journal.to_wire())
 
     def _rollback_uncommitted(self) -> None:
         """Undo every row inserted since the last checkpoint."""
-        if not self._undo:
-            self._uncommitted = 0
-            return
         r3 = self._r3
-        r3.metrics.count("batchinput.rollbacks")
-        r3.rollback_rows(self._undo)
-        self._undo.clear()
+        if self._undo:
+            r3.metrics.count("batchinput.rollbacks")
+            r3.rollback_rows(self._undo)
+            self._undo.clear()
         self._uncommitted = 0
+        if self._durable and not r3.db.wal.dead and r3.db.wal.in_txn:
+            # Make the compensation deletes durable and close the open
+            # engine transaction; the journal payload re-asserts the
+            # last checkpointed state.
+            r3.db.commit(
+                journal=self.journal.to_wire()
+                if self.journal is not None else None
+            )
 
 
 def effective_parallel_time(elapsed: float, processes: int) -> float:

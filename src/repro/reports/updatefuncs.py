@@ -10,33 +10,42 @@ one tuple at a time.
 from __future__ import annotations
 
 from repro.r3.appserver import R3System
-from repro.r3.batchinput import BatchInputSession, BatchTransaction
+from repro.r3.batchinput import (
+    BatchInputSession,
+    BatchTransaction,
+    LoadJournal,
+)
 from repro.sapschema.loader import order_transactions
 from repro.sapschema.mapping import KeyCodec
 from repro.tpcd.dbgen import TpcdData
 
 
-def run_uf1_sap(r3: R3System, refresh: TpcdData) -> int:
-    """UF1: insert the refresh orders through batch input."""
-    session = BatchInputSession(r3)
-    stats = session.run_all(order_transactions(refresh))
+def run_uf1_sap(r3: R3System, refresh: TpcdData,
+                commit_interval: int | None = None,
+                journal: LoadJournal | None = None) -> int:
+    """UF1: insert the refresh orders through batch input.
+
+    With ``commit_interval``/``journal`` set the refresh stream runs as
+    a journalled phase ("UF1"), so a crash mid-refresh resumes from the
+    last checkpoint exactly like the initial load — the crash-fuzz
+    harness relies on this to make UF1 a recoverable workload.
+    """
+    session = BatchInputSession(r3, commit_interval=commit_interval,
+                                journal=journal)
+    if journal is not None:
+        stats = session.run_phase("UF1", order_transactions(refresh))
+    else:
+        stats = session.run_all(order_transactions(refresh))
     return stats.records_inserted
 
 
-def run_uf2_sap(r3: R3System, orderkeys: list[int]) -> int:
-    """UF2: delete orders (and their items/conditions) via batch input.
-
-    Deletions also run record-wise through transaction processing —
-    SAP validates that the order exists, then removes its VBAP/VBEP/
-    STXL/KONV rows and the header.
-    """
-    session = BatchInputSession(r3)
-    count = 0
+def uf2_transactions(r3: R3System, orderkeys: list[int]):
+    """The UF2 delete stream as batch transactions (one per order)."""
     for orderkey in orderkeys:
         vbeln = KeyCodec.vbeln(orderkey)
         knumv = KeyCodec.knumv(orderkey)
         client = r3.client
-        transaction = BatchTransaction(
+        yield BatchTransaction(
             screens=2,
             checks=[(
                 "SELECT SINGLE vbeln FROM vbak WHERE vbeln = :vbeln",
@@ -58,9 +67,27 @@ def run_uf2_sap(r3: R3System, orderkeys: list[int]) -> int:
                  (client, vbeln)),
             ],
         )
-        session.run(transaction)
-        count += 1
-    return count
+
+
+def run_uf2_sap(r3: R3System, orderkeys: list[int],
+                commit_interval: int | None = None,
+                journal: LoadJournal | None = None) -> int:
+    """UF2: delete orders (and their items/conditions) via batch input.
+
+    Deletions also run record-wise through transaction processing —
+    SAP validates that the order exists, then removes its VBAP/VBEP/
+    STXL/KONV rows and the header.  Like UF1, the stream becomes a
+    journalled, crash-recoverable phase ("UF2") when a journal is
+    supplied.
+    """
+    session = BatchInputSession(r3, commit_interval=commit_interval,
+                                journal=journal)
+    before = session.stats.transactions
+    if journal is not None:
+        session.run_phase("UF2", uf2_transactions(r3, orderkeys))
+    else:
+        session.run_all(uf2_transactions(r3, orderkeys))
+    return session.stats.transactions - before
 
 
 def _konv_delete_sql(r3: R3System) -> str:

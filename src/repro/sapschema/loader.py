@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.r3.appserver import R3System
+from repro.r3.appserver import R3System, R3Version
 from repro.r3.batchinput import (
     BatchInputSession,
     BatchTransaction,
@@ -158,11 +158,22 @@ def load_sap_batch_input(r3: R3System, data: TpcdData,
     if journal is None and commit_interval is not None:
         journal = LoadJournal()
     if journal is None or not journal.setup_done:
+        # With engine durability on, setup (schema DDL + tiny master
+        # data) is one engine transaction: a crash inside it undoes
+        # everything, so resume re-runs it from scratch — no partially
+        # activated schema can ever be journalled as done.
+        durable = r3.db.wal is not None and not r3.db.wal.dead
+        if durable and not r3.db.wal.in_txn:
+            r3.db.begin()
         activate_sap_schema(r3)
         create_sap_join_views(r3)
         _load_tiny_master_data(r3, data)
         if journal is not None:
             journal.setup_done = True
+        if durable and r3.db.wal.in_txn:
+            r3.db.commit(
+                journal=journal.to_wire() if journal is not None else None
+            )
     timings = timings or LoadTimings(processes=processes)
     session = BatchInputSession(r3, commit_interval=commit_interval,
                                 journal=journal)
@@ -178,6 +189,48 @@ def load_sap_batch_input(r3: R3System, data: TpcdData,
             )
     r3.db.analyze()
     return timings
+
+
+def recover_sap_system(store, version: R3Version = R3Version.V22,
+                       params=None, degree: int = 1):
+    """Reopen a crashed durable store as a ready-to-resume R/3 system.
+
+    Composes the two recovery layers the crash-fuzz harness exercises:
+
+    1. **Engine recovery** — :meth:`~repro.engine.database.Database.open`
+       runs the ARIES passes (analysis/redo/undo) over the store's log
+       and checkpoint image.
+    2. **App-tier reconstruction** — a fresh :class:`R3System` attaches
+       to the recovered engine; the data dictionary, pool/cluster
+       registries and table buffers are app-server memory and died with
+       the process, so schema activation re-runs idempotently against
+       the recovered catalog.  The batch-input
+       :class:`~repro.r3.batchinput.LoadJournal` is rebuilt from the
+       committed journal history (walking past torn records).
+
+    Returns ``(r3, journal, report)``; pass ``r3`` and ``journal`` back
+    into :func:`load_sap_batch_input` to resume the load.
+    """
+    from repro.engine.database import Database
+
+    db, report = Database.open(store, params=params, degree=degree)
+    r3 = R3System(version=version, database=db)
+    journal = LoadJournal.recover(report.app_journal_history)
+    if journal.setup_done:
+        # Schema is durably committed: repopulate the app-tier DDIC and
+        # container registries without issuing engine DDL — the
+        # recovered catalog already carries every table/index that
+        # should exist (including the effect of post-setup drops).
+        activate_sap_schema(r3, engine_ddl=False)
+        create_sap_join_views(r3)
+        # Reconcile conversion state: a table the dictionary knows as
+        # pool/cluster but that exists transparently in the recovered
+        # engine was converted (the 3.0 upgrade) before the crash.
+        for name in list(r3.ddic.tables):
+            entry = r3.ddic.tables[name]
+            if entry.encapsulated and db.catalog.has_table(name):
+                r3.ddic.convert_to_transparent(name)
+    return r3, journal, report
 
 
 def load_sap_fast(r3: R3System, data: TpcdData,

@@ -403,8 +403,15 @@ SAP_SECONDARY_INDEXES = [
 ]
 
 
-def activate_sap_schema(r3: R3System) -> None:
-    """Create containers, activate the 17 tables, build indexes."""
+def activate_sap_schema(r3: R3System, engine_ddl: bool = True) -> None:
+    """Create containers, activate the 17 tables, build indexes.
+
+    ``engine_ddl=False`` re-registers the app-tier dictionary against a
+    crash-recovered engine without issuing any new engine DDL: the
+    recovered catalog is the authority there (it replayed both the
+    CREATEs *and* any later DROPs, which a blind re-activation would
+    wrongly re-create).
+    """
     from repro.engine.types import SqlType as _S
 
     r3.define_pool(POOL_CONTAINER)
@@ -413,5 +420,10 @@ def activate_sap_schema(r3: R3System) -> None:
     )
     for info in SAP_TABLE_INFO.values():
         r3.activate_table(info.ddic_table())
+    if not engine_ddl:
+        return
     for index_name, table, columns in SAP_SECONDARY_INDEXES:
-        r3.db.create_index(index_name, table, columns)
+        # Idempotent against a crash-recovered catalog that already
+        # replayed the CREATE INDEX from the log or checkpoint image.
+        if not r3.db.catalog.has_index(index_name):
+            r3.db.create_index(index_name, table, columns)

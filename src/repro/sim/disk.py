@@ -36,6 +36,7 @@ class DiskModel:
         write_s: float,
         retry_penalty_s: float = 0.030,
         max_retries: int = 3,
+        fsync_s: float = 0.005,
     ) -> None:
         self._clock = clock
         self._metrics = metrics
@@ -44,6 +45,7 @@ class DiskModel:
         self._write_s = write_s
         self._retry_penalty_s = retry_penalty_s
         self._max_retries = max_retries
+        self._fsync_s = fsync_s
         #: optional FaultInjector; None means a fault-free disk
         self.faults = None
 
@@ -57,6 +59,10 @@ class DiskModel:
     def write_page(self) -> None:
         """Charge one page write."""
         self._transfer("disk.writes", self._write_s)
+
+    def fsync(self) -> None:
+        """Charge one write barrier (the WAL's group-commit log force)."""
+        self._transfer("disk.fsyncs", self._fsync_s)
 
     def _transfer(self, counter: str, cost_s: float) -> None:
         """One page transfer, retried through transient injected faults.

@@ -59,6 +59,13 @@ class FaultProfile:
     crash_at_s: tuple[float, ...] = ()
     #: work-process crash every ~N dispatched requests (pool workers)
     work_process_crash_every: int | None = None
+    #: kill the whole engine at the Nth durability boundary (WAL
+    #: append/flush/fsync or checkpoint begin/page/end); None disables.
+    #: Crash-point fuzzing sweeps this index across every boundary.
+    crash_at_durability_op: int | None = None
+    #: probability that the frame in flight when the engine crashes is
+    #: left truncated (torn) on the durable log tail
+    torn_write_prob: float = 0.0
     #: relative interval spread, 0.0..0.9
     jitter: float = 0.0
 
@@ -67,6 +74,13 @@ class FaultProfile:
             raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
         if self.connection_drop_burst < 1:
             raise ValueError("connection_drop_burst must be >= 1")
+        if not 0.0 <= self.torn_write_prob <= 1.0:
+            raise ValueError(
+                f"torn_write_prob must be in [0, 1]: {self.torn_write_prob}"
+            )
+        if self.crash_at_durability_op is not None \
+                and self.crash_at_durability_op < 1:
+            raise ValueError("crash_at_durability_op must be >= 1")
 
 
 #: the three standard profiles used by the robustness benchmark
@@ -100,6 +114,11 @@ class FaultInjector:
         self.disk_ops = 0
         self.roundtrips = 0
         self.wp_requests = 0
+        self.durability_ops = 0
+        #: boundary kind of the most recent durability hook call
+        self.last_durability_kind = ""
+        #: how often each boundary kind fired (crash-fuzz census)
+        self.durability_kinds: dict[str, int] = {}
         self._next_disk_fault = self._next_after(0, profile.disk_error_every)
         self._next_conn_fault = self._next_after(
             0, profile.connection_drop_every)
@@ -179,6 +198,47 @@ class FaultInjector:
             f"injected work-process crash at request {self.wp_requests} "
             f"(profile {self.profile.name!r})"
         )
+
+    def on_durability_op(self, kind: str) -> None:
+        """Called by the WAL at every durability boundary.
+
+        ``kind`` names the boundary (``wal.append``, ``wal.flush``,
+        ``wal.fsync``, ``checkpoint.begin``, ``checkpoint.page``,
+        ``checkpoint.end``).  When the profile arms
+        ``crash_at_durability_op``, the Nth call kills the engine with
+        a :class:`~repro.engine.errors.SimulatedCrash` — exactly once,
+        so post-crash cleanup paths do not re-crash.
+        """
+        self.durability_ops += 1
+        self.last_durability_kind = kind
+        self.durability_kinds[kind] = \
+            self.durability_kinds.get(kind, 0) + 1
+        target = self.profile.crash_at_durability_op
+        if target is None or self.durability_ops != target:
+            return
+        self._metrics.count("faults.engine_crashes_injected")
+        from repro.engine.errors import SimulatedCrash
+        raise SimulatedCrash(
+            f"injected engine crash at durability op {self.durability_ops} "
+            f"({kind}, profile {self.profile.name!r})"
+        )
+
+    def torn_write_bytes(self, frame: bytes) -> bytes | None:
+        """The truncated prefix a crashed flush leaves on disk, if any.
+
+        Consulted by the WAL after an injected engine crash interrupted
+        a frame write.  Returns ``None`` for a clean cut (the frame
+        never reached the platter) or a strict prefix of ``frame`` for
+        a torn write, per the profile's ``torn_write_prob`` and the
+        seeded PRNG.
+        """
+        if self.profile.torn_write_prob <= 0.0 or len(frame) < 2:
+            return None
+        if self._rng.random() >= self.profile.torn_write_prob:
+            return None
+        cut = self._rng.randint(1, len(frame) - 1)
+        self._metrics.count("faults.torn_writes_injected")
+        return frame[:cut]
 
     def maybe_crash(self) -> None:
         """Called at work-process transaction boundaries.

@@ -74,6 +74,18 @@ class SimParams:
     #: per-row undo cost when rolling back an uncommitted batch
     rollback_row_s: float = 0.002
 
+    # ---- durability / write-ahead log -------------------------------------
+    #: CPU cost of formatting + buffering one WAL record
+    wal_append_cpu_s: float = 0.000008
+    #: one log force (fsync) at a group-commit boundary
+    wal_fsync_s: float = 0.005
+    #: WAL records buffered before an automatic group-commit flush
+    wal_buffer_records: int = 256
+    #: records per log segment before rotation
+    wal_segment_records: int = 4096
+    #: automatic fuzzy checkpoint every ~N logged records (None: manual)
+    wal_checkpoint_every_records: int | None = 20000
+
     # ---- dispatcher / work-process pool ----------------------------------
     #: rolling a user context into a work process (paper §2: the app
     #: server multiplexes many users over few work processes)

@@ -1,0 +1,227 @@
+"""ARIES-lite recovery: crash at *every* durability boundary + invariants.
+
+The micro workload below is a deterministic sequence of committed
+transaction groups (each group = one explicit engine transaction whose
+COMMIT record carries the group index as its journal payload), with
+manual checkpoints between some groups.  That structure makes the
+correctness assertion exact at every crash point: the recovered
+database must equal the reference state after the *last durably
+committed group* — computed independently on a durability-off engine.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.errors import SimulatedCrash
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import SqlType
+from repro.engine.wal import DurableStore
+from repro.sim.faults import FaultInjector, FaultProfile
+from repro.sim.params import SimParams
+
+
+def _micro_params() -> SimParams:
+    params = SimParams()
+    params.wal_buffer_records = 4
+    params.wal_segment_records = 16
+    params.wal_checkpoint_every_records = None
+    return params
+
+
+_SCHEMA = TableSchema(
+    "t",
+    [Column("id", SqlType.integer()), Column("v", SqlType.char(8))],
+    ["id"],
+)
+
+
+def _group_ddl(db: Database) -> None:
+    db.create_table(_SCHEMA)
+
+
+def _group_insert_a(db: Database) -> None:
+    table = db.catalog.table("t")
+    for i in range(6):
+        table.insert((i, f"a{i}"))
+
+
+def _group_mutate(db: Database) -> None:
+    table = db.catalog.table("t")
+    table.update(0, (0, "mutated"))
+    table.delete(1)
+    table.insert((100, "after"))
+
+
+def _group_index(db: Database) -> None:
+    db.create_index("idx_t_v", "t", ["v"])
+
+
+def _group_insert_b(db: Database) -> None:
+    table = db.catalog.table("t")
+    for i in range(200, 206):
+        table.insert((i, f"b{i}"))
+
+
+#: (group, checkpoint-after?) — two checkpoints so crashes land before,
+#: inside and after the fuzzy-checkpoint protocol
+_GROUPS = [
+    (_group_ddl, False),
+    (_group_insert_a, True),
+    (_group_mutate, False),
+    (_group_index, True),
+    (_group_insert_b, False),
+]
+
+
+def _run_micro(db: Database) -> None:
+    for index, (group, checkpoint_after) in enumerate(_GROUPS):
+        db.begin()
+        group(db)
+        db.commit(journal=str(index).encode())
+        if checkpoint_after:
+            db.checkpoint()
+
+
+def _reference_digests() -> list[str]:
+    """Digest after 0..len(_GROUPS) groups on a durability-off engine."""
+    db = Database(params=_micro_params())
+    digests = [db.content_digest()]
+    for group, _ in _GROUPS:
+        group(db)
+        digests.append(db.content_digest())
+    return digests
+
+
+def _attach(db: Database, k: int | None) -> FaultInjector:
+    profile = FaultProfile(name="micro", seed=7,
+                           crash_at_durability_op=k)
+    injector = FaultInjector(profile, db.clock, db.metrics)
+    db.wal.faults = injector
+    db.disk.faults = injector
+    return injector
+
+
+def _census() -> int:
+    params = _micro_params()
+    db = Database(params=params, durability="wal",
+                  store=DurableStore(params))
+    injector = _attach(db, None)
+    _run_micro(db)
+    return injector.durability_ops
+
+
+_BOUNDARIES = _census()
+_REFERENCE = _reference_digests()
+
+
+def _committed_groups(report) -> int:
+    if report.app_journal is None:
+        return 0
+    return int(report.app_journal.decode()) + 1
+
+
+class TestCrashAtEveryBoundary:
+    @pytest.mark.parametrize("k", range(1, _BOUNDARIES + 1))
+    def test_recovers_to_last_committed_group(self, k):
+        params = _micro_params()
+        store = DurableStore(params)
+        db = Database(params=params, durability="wal", store=store)
+        _attach(db, k)
+        with pytest.raises(SimulatedCrash):
+            _run_micro(db)
+        assert store.frozen
+        recovered, report = Database.open(store)
+        committed = _committed_groups(report)
+        assert recovered.content_digest() == _REFERENCE[committed]
+
+    @pytest.mark.parametrize("k", range(1, _BOUNDARIES + 1, 7))
+    def test_torn_tail_recovers_identically(self, k):
+        params = _micro_params()
+        store = DurableStore(params)
+        db = Database(params=params, durability="wal", store=store)
+        profile = FaultProfile(name="micro-torn", seed=7,
+                               crash_at_durability_op=k,
+                               torn_write_prob=1.0)
+        injector = FaultInjector(profile, db.clock, db.metrics)
+        db.wal.faults = injector
+        db.disk.faults = injector
+        with pytest.raises(SimulatedCrash):
+            _run_micro(db)
+        recovered, report = Database.open(store)
+        committed = _committed_groups(report)
+        assert recovered.content_digest() == _REFERENCE[committed]
+
+    def test_completed_run_survives_crash_after_the_fact(self):
+        params = _micro_params()
+        store = DurableStore(params)
+        db = Database(params=params, durability="wal", store=store)
+        _run_micro(db)
+        db.crash()
+        recovered, report = Database.open(store)
+        assert recovered.content_digest() == _REFERENCE[-1]
+        assert report.loser_txns == 0
+
+
+class TestRedoIdempotency:
+    @pytest.mark.parametrize("k", range(1, _BOUNDARIES + 1, 5))
+    def test_recover_twice_equals_recover_once(self, k):
+        params = _micro_params()
+        store = DurableStore(params)
+        db = Database(params=params, durability="wal", store=store)
+        _attach(db, k)
+        with pytest.raises(SimulatedCrash):
+            _run_micro(db)
+        once, report1 = Database.open(store)
+        digest_once = once.content_digest()
+        # crash again without doing any work: the post-recovery
+        # checkpoint must make the second pass a no-op replay
+        twice, report2 = Database.open(once.crash())
+        assert twice.content_digest() == digest_once
+        assert report2.redo_applied == 0
+        assert report2.undo_applied == 0
+        assert report2.loser_txns == 0
+
+
+class TestParallelAfterRecovery:
+    def test_degree2_query_matches_serial_reference(self):
+        params = _micro_params()
+        store = DurableStore(params)
+        db = Database(params=params, durability="wal", store=store)
+        _attach(db, _BOUNDARIES - 2)
+        with pytest.raises(SimulatedCrash):
+            _run_micro(db)
+        recovered, _ = Database.open(store)
+        serial_rows = recovered.execute(
+            "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v").rows
+        recovered.set_degree(2)
+        recovered.prepartition()
+        parallel_rows = recovered.execute(
+            "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v").rows
+        assert parallel_rows == serial_rows
+
+
+class TestDurabilityOffIdentity:
+    def test_default_engine_is_untouched(self):
+        """durability='off' must be byte-identical to the implicit
+        default: same simulated clock, same metrics, no wal/recovery
+        counters anywhere."""
+
+        def drive(db: Database) -> None:
+            db.create_table(_SCHEMA)
+            table = db.catalog.table("t")
+            for i in range(25):
+                table.insert((i, f"v{i}"))
+            table.update(3, (3, "x"))
+            table.delete(4)
+            db.execute("SELECT COUNT(*) FROM t")
+
+        plain = Database(params=SimParams())
+        explicit = Database(params=SimParams(), durability="off")
+        drive(plain)
+        drive(explicit)
+        assert plain.wal is None and explicit.wal is None
+        assert explicit.clock.now == plain.clock.now
+        assert dict(explicit.metrics.all()) == dict(plain.metrics.all())
+        forbidden = [name for name in plain.metrics.all()
+                     if name.startswith(("wal.", "recovery.", "disk.fsync"))]
+        assert forbidden == []

@@ -1,0 +1,226 @@
+"""WAL unit tests: framing, serialization, store semantics, group commit."""
+
+import datetime
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.errors import (
+    EngineError,
+    PermanentError,
+    PlanError,
+    SimulatedCrash,
+    TornWriteError,
+    TransientError,
+    WalCorruptionError,
+)
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import SqlType
+from repro.engine.wal import (
+    DurableStore,
+    WalRecord,
+    decode_record,
+    encode_record,
+    frame_payload,
+    schema_from_payload,
+    schema_to_payload,
+    unframe_payload,
+)
+from repro.sim.params import SimParams
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "t",
+        [Column("id", SqlType.integer()), Column("v", SqlType.char(8)),
+         Column("d", SqlType.date())],
+        ["id"],
+    )
+
+
+def _durable_db(params: SimParams | None = None):
+    params = params or SimParams()
+    store = DurableStore(params)
+    db = Database(params=params, durability="wal", store=store)
+    return db, store
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = frame_payload(b"hello wal")
+        assert unframe_payload(frame) == b"hello wal"
+
+    @pytest.mark.parametrize("cut", [1, 3, 7, -1])
+    def test_truncated_frame_is_torn(self, cut):
+        frame = frame_payload(b"some payload bytes")
+        with pytest.raises(TornWriteError):
+            unframe_payload(frame[:cut])
+
+    def test_bitflip_fails_crc(self):
+        frame = bytearray(frame_payload(b"some payload bytes"))
+        frame[6] ^= 0xFF
+        with pytest.raises(TornWriteError):
+            unframe_payload(bytes(frame))
+
+    def test_torn_is_transient_corruption_is_permanent(self):
+        # The taxonomy the retry ladders rely on (ROBUSTNESS_COUNTERS).
+        assert issubclass(TornWriteError, TransientError)
+        assert issubclass(WalCorruptionError, PermanentError)
+        # SimulatedCrash sits under neither branch: no retry ladder may
+        # swallow a process death.
+        assert issubclass(SimulatedCrash, EngineError)
+        assert not issubclass(SimulatedCrash, TransientError)
+        assert not issubclass(SimulatedCrash, PermanentError)
+
+    def test_record_roundtrip_with_date(self):
+        record = WalRecord(
+            kind="insert", txn=7, lsn=42, table="t", rowid=3,
+            row=(1, "x", datetime.date(1997, 6, 1)),
+            old=None, payload={"k": [1, 2.5, None, b"raw"]},
+        )
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+        assert isinstance(decoded.row[2], datetime.date)
+
+    def test_schema_payload_roundtrip(self):
+        schema = _schema()
+        rebuilt = schema_from_payload(schema_to_payload(schema))
+        assert rebuilt.name == schema.name
+        assert rebuilt.primary_key == schema.primary_key
+        assert [c.name for c in rebuilt.columns] == \
+            [c.name for c in schema.columns]
+        assert [c.sql_type for c in rebuilt.columns] == \
+            [c.sql_type for c in schema.columns]
+
+
+# -- durable store -----------------------------------------------------------
+
+
+class TestDurableStore:
+    def test_freeze_makes_writes_noops(self):
+        store = DurableStore()
+        store.append_frame(1, frame_payload(b"a"))
+        store.freeze()
+        store.append_frame(2, frame_payload(b"b"))
+        store.rotate()
+        assert store.frame_count == 1
+        assert store.segment_count == 1
+        store.thaw()
+        store.append_frame(2, frame_payload(b"b"))
+        assert store.frame_count == 2
+
+    def test_records_drops_only_torn_tail(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        table.insert((1, "a", datetime.date(1997, 1, 1)))
+        table.insert((2, "b", datetime.date(1997, 1, 2)))
+        store.tear_tail_frame()
+        records, torn = store.records()
+        assert torn == 1
+        assert records  # earlier history still decodes
+
+    def test_mid_log_damage_raises_permanent(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        for i in range(4):
+            table.insert((i, "x", datetime.date(1997, 1, 1)))
+        store.corrupt_mid_frame()
+        with pytest.raises(WalCorruptionError):
+            store.records()
+
+
+# -- logging behaviour -------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_autocommit_per_unbatched_mutation(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        before = db.metrics.get("wal.autocommits")
+        table.insert((1, "a", datetime.date(1997, 1, 1)))
+        assert db.metrics.get("wal.autocommits") == before + 1
+        # each record is immediately durable: insert + its commit
+        kinds = [r.kind for r in store.records()[0]]
+        assert kinds[-2:] == ["insert", "commit"]
+
+    def test_group_commit_single_fsync(self):
+        db, _ = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        fsyncs_before = db.metrics.get("disk.fsyncs")
+        db.begin()
+        for i in range(10):
+            table.insert((i, "x", datetime.date(1997, 1, 1)))
+        db.commit()
+        # one forced flush for the whole transaction group
+        assert db.metrics.get("disk.fsyncs") == fsyncs_before + 1
+        assert db.metrics.get("wal.commits") == 1
+
+    def test_transactions_do_not_nest(self):
+        db, _ = _durable_db()
+        db.begin()
+        with pytest.raises(EngineError):
+            db.wal.begin()
+
+    def test_segment_rotation_and_truncation(self):
+        params = SimParams()
+        params.wal_segment_records = 8
+        params.wal_checkpoint_every_records = None
+        db, store = _durable_db(params)
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        for i in range(40):
+            table.insert((i, "x", datetime.date(1997, 1, 1)))
+        assert store.segment_count > 1
+        assert db.metrics.get("wal.segments_rotated") > 0
+        db.checkpoint()
+        assert db.metrics.get("wal.segments_truncated") > 0
+        # everything still decodes after truncation
+        records, torn = store.records()
+        assert torn == 0 and records
+
+    def test_checkpoint_charges_dirty_pages(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        for i in range(10):
+            table.insert((i, "x", datetime.date(1997, 1, 1)))
+        db.checkpoint()
+        assert store.image is not None
+        assert db.metrics.get("wal.checkpoints") == 1
+        assert db.metrics.get("wal.checkpoint_pages") >= 1
+
+    def test_journal_rides_in_commit_record(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        db.begin()
+        db.catalog.table("t").insert((1, "a", datetime.date(1997, 1, 1)))
+        db.commit(journal=b"journal-bytes")
+        commits = [r for r in store.records()[0] if r.kind == "commit"]
+        assert commits[-1].payload == b"journal-bytes"
+        db.checkpoint()
+        assert store.image.journal == b"journal-bytes"
+
+    def test_dead_wal_ignores_everything(self):
+        db, store = _durable_db()
+        db.create_table(_schema())
+        table = db.catalog.table("t")
+        table.insert((1, "a", datetime.date(1997, 1, 1)))
+        frames = store.frame_count
+        db.crash()
+        # post-crash cleanup paths may still run; none of it is durable
+        table.insert((2, "b", datetime.date(1997, 1, 1)))
+        db.begin()
+        db.commit()
+        db.checkpoint()
+        assert store.frame_count == frames
+
+    def test_unknown_durability_mode_rejected(self):
+        with pytest.raises(PlanError):
+            Database(params=SimParams(), durability="fsync-every-row")
