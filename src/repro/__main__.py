@@ -20,6 +20,15 @@ the static analyzer over the report sources:
 
     python -m repro lint --format=json
 
+the rule-driven report rewriter (plans 2.2->3.0 pushdown rewrites from
+the analyzer's findings; --check proves each one by running original
+and rewritten reports against the same seeded database):
+
+    python -m repro rewrite
+    python -m repro rewrite --diff
+    python -m repro rewrite --check --family open22 --sf 0.001 \
+        --report rewrite-report.json
+
 the benchmark-result differ:
 
     python -m repro bench-diff BENCH_old.json BENCH_new.json
@@ -154,6 +163,16 @@ def cmd_lint(args) -> int:
     return run_lint_command(args)
 
 
+def cmd_rewrite(args) -> int:
+    from repro.analysis.rewrite.cli import run_rewrite_command
+
+    if args.format == "chrome":
+        print("rewrite: --format=chrome is only valid for 'trace'",
+              file=sys.stderr)
+        return 2
+    return run_rewrite_command(args)
+
+
 def cmd_trace(args) -> int:
     from repro.trace.cli import run_trace_command
 
@@ -279,6 +298,7 @@ COMMANDS = {
     "power": cmd_power,
     "trace": cmd_trace,
     "lint": cmd_lint,
+    "rewrite": cmd_rewrite,
     "bench-diff": cmd_bench_diff,
     "chaos": cmd_chaos,
     "recover": cmd_recover,
@@ -332,6 +352,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--lint-scale", type=float, default=1.0,
                       help="scale factor for lint cost estimates "
                            "(default 1.0 — the paper's installation)")
+    rewrite = parser.add_argument_group("rewrite")
+    rewrite.add_argument("--check", action="store_true",
+                         help="rewrite: run the differential "
+                              "verification harness (exit 1 on any "
+                              "row mismatch or regression)")
+    rewrite.add_argument("--diff", action="store_true",
+                         help="rewrite: print unified diffs of the "
+                              "rewritten modules")
+    rewrite.add_argument("--report", default=None,
+                         help="rewrite: write the repro-rewrite-v1 "
+                              "JSON report to this file")
+    rewrite.add_argument("--rewrite-out", default=None,
+                         help="rewrite: write rewritten module sources "
+                              "to this directory")
+    rewrite.add_argument("--family", default=None,
+                         help="rewrite: comma-separated report "
+                              "families (default open22,native22)")
     chaos = parser.add_argument_group("chaos")
     chaos.add_argument("--streams", default="2,4,8",
                        help="comma-separated stream counts to sweep "

@@ -1,11 +1,14 @@
 """``python -m repro lint`` — the analyzer's command-line entry.
 
 Exit status is the CI contract: 0 when every finding is baselined (or
-none exist), 1 when a new, non-baselined finding appears.
+none exist), 1 when a new, non-baselined finding appears, 2 when the
+baseline itself is missing or unreadable (a configuration error must
+never masquerade as a clean — or failed — lint).
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline, default_baseline_path
@@ -43,8 +46,26 @@ def run_lint(paths: list[str | Path] | None = None,
              f"{resolved_baseline}")
         return 0
 
-    baseline = Baseline.load(resolved_baseline) if use_baseline \
-        else Baseline()
+    baseline = Baseline()
+    if use_baseline:
+        if not resolved_baseline.exists():
+            print(
+                f"lint: baseline file {resolved_baseline} is missing — "
+                f"run `python -m repro lint --write-baseline` to create "
+                f"it, or pass --no-baseline to lint without one",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = Baseline.load(resolved_baseline)
+        except (OSError, ValueError, AttributeError) as exc:
+            print(
+                f"lint: baseline file {resolved_baseline} is unreadable "
+                f"({exc}) — fix or regenerate it with "
+                f"`python -m repro lint --write-baseline`",
+                file=sys.stderr,
+            )
+            return 2
     fresh = baseline.apply(findings)
 
     if output_format == "json":

@@ -56,6 +56,10 @@ class StatementSite:
     var_name: str | None = None
     stmt: OSSelect | None = None
     parse_error: str | None = None
+    #: whitespace-normalised source text of the SQL argument — a
+    #: position-independent identity for statements whose text cannot
+    #: be resolved statically (baseline keys must survive line drift)
+    sql_src: str | None = None
 
 
 @dataclass
@@ -67,6 +71,7 @@ class IdiomSite:
     line: int
     func: str
     kind: str  # 'group_aggregate' | 'wrapper_call' | 'konv_lookup'
+    #       | 'abap_sort'
     loop_depth: int
     memoized: bool
     outer: tuple["StatementSite | None", ...] = ()
@@ -125,6 +130,13 @@ def _resolve_str(node: ast.expr,
             if isinstance(value, ast.Constant):
                 parts.append(str(value.value))
             elif isinstance(value, ast.FormattedValue):
+                if value.conversion != -1 or value.format_spec is not None:
+                    # A conversion (!r) or format spec (:>8) changes the
+                    # interpolated text in ways we do not model; the
+                    # resolved value would be wrong, so keep the marker.
+                    parts.append(DYNAMIC_MARKER)
+                    dynamic = True
+                    continue
                 text, _dyn = _resolve_str(value.value, env)
                 if text is not None:
                     parts.append(text)
@@ -341,6 +353,10 @@ class _FunctionScanner:
                     and func.attr == "group_aggregate"):
             self._add_group_aggregate(call, loops, memo)
             return
+        if isinstance(func, ast.Name) and func.id == "sorted" and \
+                call.args:
+            self._add_abap_sort(call, loops, memo)
+            return
         if isinstance(func, ast.Attribute) and \
                 isinstance(func.value, ast.Name):
             kind = self._wrapper_vars.get(func.value.id)
@@ -374,11 +390,14 @@ class _FunctionScanner:
                 str(key.value) for key in call.args[1].keys
                 if isinstance(key, ast.Constant)
             )
+        sql_src: str | None = None
+        if call.args:
+            sql_src = " ".join(ast.unparse(call.args[0]).split())
         site = StatementSite(
             path=self.ctx.path, module=self.ctx.module, line=call.lineno,
             func=self.func, api=api, sql=sql, dynamic=dynamic,
             host_vars=host_vars, loop_depth=len(loops), memoized=memo,
-            outer=loops,
+            outer=loops, sql_src=sql_src,
         )
         if api != "exec_sql" and sql is not None:
             try:
@@ -409,6 +428,32 @@ class _FunctionScanner:
             detail="EXTRACT/SORT/LOOP AT END grouping",
         ))
 
+    def _add_abap_sort(self, call: ast.Call,
+                       loops: tuple[StatementSite | None, ...],
+                       memo: bool) -> None:
+        """``sorted()`` over rows whose SELECT origin is knowable."""
+        arg = call.args[0]
+        source = self._rows_source(arg)
+        if source is None and isinstance(arg, ast.Call):
+            # sorted(group_aggregate(r3, <rows>, ...)): the sort rides
+            # on the grouped form of the same SELECT's rows.
+            func = arg.func
+            is_ga = (isinstance(func, ast.Name)
+                     and func.id == "group_aggregate") or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "group_aggregate")
+            if is_ga and len(arg.args) > 1:
+                source = self._rows_source(arg.args[1])
+        if source is None:
+            return
+        table = source.stmt.table if source.stmt is not None else "select"
+        self.idioms.append(IdiomSite(
+            path=self.ctx.path, module=self.ctx.module, line=call.lineno,
+            func=self.func, kind="abap_sort", loop_depth=len(loops),
+            memoized=memo, outer=loops, source=source,
+            detail=f"sorted() over {table} rows",
+        ))
+
     # -- data-flow helpers -------------------------------------------------
 
     def _rows_source(self, node: ast.expr) -> StatementSite | None:
@@ -436,8 +481,15 @@ class _FunctionScanner:
 def analyze_module(path: str | Path) -> ModuleAnalysis:
     """Extract every call site and idiom from one source file."""
     path = Path(path)
-    tree = ast.parse(path.read_text(), filename=str(path))
-    module = path.stem
+    return analyze_source(path.read_text(), path.stem, path)
+
+
+def analyze_source(source: str, module: str,
+                   path: str | Path) -> ModuleAnalysis:
+    """Extract from source text that need not exist on disk — the
+    rewriter analyses its own generated modules through this."""
+    path = Path(path)
+    tree = ast.parse(source, filename=str(path))
     ctx = _ModuleContext(path, module, tree)
     analysis = ModuleAnalysis(
         path=str(path), module=module, release=infer_release(module),

@@ -1,0 +1,44 @@
+"""Rule-driven report rewriting: the SQL Inspector grows hands.
+
+``repro.analysis`` (R001-R010) *flags* 2.2-style anti-patterns; this
+package *fixes* them.  Each transform is an AST-to-AST rewrite keyed to
+the rule that triggered it:
+
+========  ==================  ============================================
+Rule      Transform           2.2 idiom -> 3.0 idiom
+========  ==================  ============================================
+R001      join_merge          SELECT SINGLE inside a SELECT loop ->
+                              single pushed INNER JOIN
+R001      hoist               loop-invariant SELECT -> moved before loop
+R005      group_pushdown      ABAP-side group_aggregate() -> GROUP BY
+R007      full_key            partial-key SELECT SINGLE -> full key via
+                              installation constants + table buffering
+R010      order_pushdown      ABAP sorted() over fetched rows -> ORDER BY
+========  ==================  ============================================
+
+The planner (:mod:`.planner`) discovers candidates per report function,
+resolves conflicts (a join merge supersedes a full-key rewrite of the
+same probe), applies them in dependency order and records *refusals*
+with reasons whenever a safety precondition fails — unsafe sites stay
+flagged, never rewritten.  The differential harness (:mod:`.verify`)
+compiles the rewritten source, runs original and rewritten reports
+against the same seeded database and asserts identical rows plus the
+cost-model-predicted and clock-measured speedup.
+"""
+
+from repro.analysis.rewrite.planner import ModuleRewrite, plan_module
+from repro.analysis.rewrite.render import render_select
+from repro.analysis.rewrite.transforms import (
+    INSTALLATION_KEY_CONSTANTS,
+    Applied,
+    Refusal,
+)
+
+__all__ = [
+    "Applied",
+    "INSTALLATION_KEY_CONSTANTS",
+    "ModuleRewrite",
+    "Refusal",
+    "plan_module",
+    "render_select",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro rewrite`` — plan, diff, verify, report.
+
+Default mode plans the rewrites and prints the applied/refused ledger
+without executing anything.  ``--check`` runs the differential
+verification harness (exit 1 on any row mismatch, regression, or
+refusal without a reason); ``--diff`` prints the unified source diffs;
+``--report`` writes the ``repro-rewrite-v1`` JSON document;
+``--rewrite-out`` saves the rewritten module sources to a directory.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.rewrite.planner import plan_module
+from repro.analysis.rewrite.report import render_json, render_text
+from repro.analysis.rewrite.verify import (
+    FAMILIES,
+    FamilyVerification,
+    reports_dir,
+    verify_families,
+)
+
+DEFAULT_FAMILIES = ["open22", "native22"]
+
+
+def run_rewrite(families: list[str] | None = None,
+                check: bool = False,
+                diff: bool = False,
+                report_path: str | Path | None = None,
+                rewrite_out: str | Path | None = None,
+                scale: float = 0.001,
+                emit=print) -> int:
+    """Run the rewriter; returns the process exit status."""
+    chosen = families or DEFAULT_FAMILIES
+    unknown = [f for f in chosen if f not in FAMILIES]
+    if unknown:
+        print(f"rewrite: unknown family(ies) {unknown} "
+              f"(choose from {', '.join(sorted(FAMILIES))})",
+              file=sys.stderr)
+        return 2
+
+    if check:
+        results = verify_families(chosen, scale)
+    else:
+        schema = SchemaInfo(scale)
+        base = reports_dir()
+        results = []
+        for name in chosen:
+            spec = FAMILIES[name]
+            modules = [plan_module(base / f"{spec['module']}.py", schema)]
+            modules += [plan_module(base / f"{s}.py", schema)
+                        for s in spec["support"]]
+            results.append(FamilyVerification(name, modules))
+
+    if diff:
+        for fam in results:
+            for module in fam.modules:
+                text = module.diff()
+                if text:
+                    emit(text)
+
+    if rewrite_out is not None:
+        out_dir = Path(rewrite_out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = set()
+        for fam in results:
+            for module in fam.modules:
+                if module.module in written or not module.changed:
+                    continue
+                written.add(module.module)
+                (out_dir / f"{module.module}.py").write_text(
+                    module.rewritten_source)
+        emit(f"wrote {len(written)} rewritten module(s) to {out_dir}")
+
+    emit(render_text(results, checked=check))
+
+    if report_path is not None:
+        Path(report_path).write_text(
+            render_json(results, scale, checked=check) + "\n")
+        emit(f"report written to {report_path}")
+
+    if check:
+        if "open22" in chosen and not any(
+            r.applied for r in results if r.family == "open22"
+        ):
+            print("rewrite: --check expected rewrites in open22 but "
+                  "none were applied", file=sys.stderr)
+            return 1
+        return 0 if all(r.ok for r in results) else 1
+    return 0
+
+
+def run_rewrite_command(args) -> int:
+    """Adapter for the ``python -m repro`` argument namespace."""
+    families = [part.strip() for part in args.family.split(",")
+                if part.strip()] if args.family else None
+    return run_rewrite(
+        families=families,
+        check=args.check,
+        diff=args.diff,
+        report_path=args.report,
+        rewrite_out=args.rewrite_out,
+        scale=args.sf,
+    )

@@ -1,0 +1,95 @@
+"""Rendering for rewrite plans and verification runs.
+
+Produces the bug-tracker-style ``repro-rewrite-v1`` JSON document (the
+CI artifact) and a human text summary of what was applied, what was
+refused and why, and how every rewritten query measured against its
+prediction.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.rewrite.verify import FamilyVerification
+
+SCHEMA_NAME = "repro-rewrite-v1"
+
+
+def build_report(results: list[FamilyVerification],
+                 scale_factor: float, checked: bool) -> dict:
+    applied = [a for r in results for a in r.applied]
+    refused = [r for fam in results for r in fam.refusals]
+    failed = [p for r in results for p in r.problems]
+    return {
+        "schema": SCHEMA_NAME,
+        "scale_factor": scale_factor,
+        "checked": checked,
+        "summary": {
+            "applied": len(applied),
+            "refused": len(refused),
+            "failed": len(failed),
+            "rules_applied": sorted({a.rule for a in applied}),
+            "ok": all(r.ok for r in results),
+        },
+        "families": [r.as_dict() for r in results],
+    }
+
+
+def render_json(results: list[FamilyVerification], scale_factor: float,
+                checked: bool) -> str:
+    return json.dumps(build_report(results, scale_factor, checked),
+                      indent=2, sort_keys=True)
+
+
+def render_text(results: list[FamilyVerification],
+                checked: bool) -> str:
+    lines: list[str] = []
+    for fam in results:
+        lines.append(f"family {fam.family}: "
+                     f"{len(fam.applied)} applied, "
+                     f"{len(fam.refusals)} refused"
+                     + ("" if fam.ok else
+                        f", {len(fam.problems)} problem(s)"))
+        for module in fam.modules:
+            for fn in module.functions.values():
+                for a in fn.applied:
+                    lines.append(
+                        f"  + {a.rule} {a.kind:<14} "
+                        f"{module.module}.{a.func}:{a.line} "
+                        f"[{a.table}] {a.detail}")
+        for module in fam.modules:
+            for fn in module.functions.values():
+                for r in fn.refusals:
+                    lines.append(
+                        f"  - {r.rule} {r.kind:<14} "
+                        f"{module.module}.{r.func}:{r.line} "
+                        f"refused: {r.reason}")
+        if fam.executed:
+            lines.append("  query  rows   measured  predicted")
+            for q in fam.queries:
+                if q.error:
+                    lines.append(f"  q{q.query:<5} ERROR: {q.error}")
+                    continue
+                if not (q.changed or q.indirect):
+                    continue
+                tag = "direct" if q.changed else "indirect"
+                measured = (f"{q.measured_speedup:6.2f}x"
+                            if q.measured_speedup is not None else
+                            "      -")
+                predicted = (f"{q.predicted_speedup:6.2f}x"
+                             if q.predicted_speedup is not None else
+                             "      -")
+                match = "ok " if q.rows_match else "BAD"
+                lines.append(f"  q{q.query:<5} {match}   {measured}  "
+                             f"{predicted}   ({tag})")
+        for problem in fam.problems:
+            lines.append(f"  ! {problem}")
+    total_applied = sum(len(r.applied) for r in results)
+    rules = sorted({a.rule for r in results for a in r.applied})
+    verdict = "" if not checked else (
+        " — verification PASSED" if all(r.ok for r in results)
+        else " — verification FAILED")
+    lines.append(f"{total_applied} rewrite(s) applied across "
+                 f"{len(results)} family(ies), rules: "
+                 f"{', '.join(rules) or 'none'}{verdict}")
+    return "\n".join(lines)

@@ -1,0 +1,337 @@
+"""Differential verification: prove every rewrite tick-for-tick.
+
+The harness compiles the rewritten report modules, builds *two*
+identical SAP systems from one generated data set, runs every query of
+a family on both — original code on one, rewritten code on the other —
+and asserts:
+
+(a) identical result rows (ordered, 2-decimal tolerance — the same
+    comparator the TPC-D answer checks use), and
+(b) the measured simulated-clock speedup, side by side with the cost
+    model's prediction from the statement sites of both sources.
+
+A rewrite that survives is *proven*, not plausible.  Failures are
+recorded per query; any mismatch, run error, or refusal without a
+stated reason fails the family.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.extractor import (
+    ModuleAnalysis,
+    analyze_source,
+)
+from repro.analysis.rewrite.planner import ModuleRewrite, plan_module
+from repro.analysis.rules import (
+    collect_conjuncts,
+    estimate_loop_calls,
+    estimate_site_rows,
+)
+from repro.core.powertest import build_sap_system
+from repro.r3.appserver import R3Version
+from repro.sim.params import SimParams
+from repro.tpcd.answers import rows_match
+from repro.tpcd.dbgen import generate
+
+#: report families the rewriter runs over, with their support modules
+#: (shared helpers the family calls into, rewritten alongside it)
+FAMILIES: dict[str, dict] = {
+    "open22": {"module": "open22", "support": ["common"]},
+    "native22": {"module": "native22", "support": ["common"]},
+}
+
+#: speedup below which a directly-rewritten query counts as a
+#: regression (small negative noise on untouched queries is fine;
+#: a rewrite that slows its own query down is not)
+MIN_DIRECT_SPEEDUP = 0.90
+
+#: a rewrite predicted to win big (>= 2x) must show at least this much
+#: measured speedup, or the prediction-vs-measurement contract fails
+PREDICTED_BACKSTOP = 1.3
+
+#: the backstop only judges queries whose original run does real work —
+#: the prediction is asymptotic, and a query that finishes in a few
+#: milliseconds at a tiny scale factor has nothing to amortise against
+MIN_PREDICTION_BASIS_S = 0.1
+
+
+def reports_dir() -> Path:
+    import repro.reports
+
+    return Path(repro.reports.__file__).resolve().parent
+
+
+@dataclass
+class QueryVerification:
+    """One query's original-vs-rewritten differential outcome."""
+
+    query: int
+    changed: bool          # its own function was rewritten
+    indirect: bool         # it calls a rewritten support function
+    rows_match: bool | None = None
+    orig_s: float | None = None
+    new_s: float | None = None
+    measured_speedup: float | None = None
+    predicted_speedup: float | None = None
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query, "changed": self.changed,
+            "indirect": self.indirect, "rows_match": self.rows_match,
+            "orig_s": self.orig_s, "new_s": self.new_s,
+            "measured_speedup": self.measured_speedup,
+            "predicted_speedup": self.predicted_speedup,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FamilyVerification:
+    """Everything the harness learned about one report family."""
+
+    family: str
+    modules: list[ModuleRewrite]
+    queries: list[QueryVerification] = field(default_factory=list)
+    problems: list[str] = field(default_factory=list)
+    executed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def applied(self) -> list:
+        return [a for m in self.modules for a in m.applied]
+
+    @property
+    def refusals(self) -> list:
+        return [r for m in self.modules for r in m.refusals]
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family, "ok": self.ok,
+            "executed": self.executed,
+            "modules": [m.as_dict() for m in self.modules],
+            "queries": [q.as_dict() for q in self.queries],
+            "problems": list(self.problems),
+        }
+
+
+# -- cost-model predictions -------------------------------------------------
+
+
+def predicted_function_cost(analysis: ModuleAnalysis, func: str,
+                            schema: SchemaInfo,
+                            buffered: frozenset[str],
+                            params: SimParams) -> float:
+    """Predicted seconds the cost model charges one report function.
+
+    Counts interface crossings, shipped rows and ABAP row handling for
+    every statement site, plus sort/extract work for the grouping and
+    sorting idioms — the same quantities the rewrites shift between
+    layers, so the original/rewritten ratio predicts the speedup.
+    """
+    total = 0.0
+    for site in analysis.sites:
+        if site.func != func:
+            continue
+        calls = estimate_loop_calls(site.outer, schema, site.memoized)
+        rows = estimate_site_rows(site, schema)
+        if site.api == "select_single":
+            per_call = params.roundtrip_s + params.ship_tuple_s
+            if site.stmt is not None and site.stmt.table in buffered:
+                bound = {
+                    c.column for c in collect_conjuncts(site.stmt)
+                    if c.op == "=" and not c.col_col
+                    and c.table == site.stmt.table
+                }
+                if schema.is_full_key(site.stmt.table, bound):
+                    per_call = params.cache_lookup_s
+        elif site.api == "select":
+            per_call = params.roundtrip_s + rows * (
+                params.ship_tuple_s + params.abap_row_s)
+        else:  # exec_sql
+            per_call = params.roundtrip_s + rows * params.ship_tuple_s
+        total += calls * per_call
+    for idiom in analysis.idioms:
+        if idiom.func != func:
+            continue
+        rows = estimate_site_rows(idiom.source, schema)
+        log_rows = math.log2(rows) if rows > 1 else 1.0
+        if idiom.kind == "group_aggregate":
+            total += rows * (params.abap_extract_s
+                             + 2 * params.abap_row_s)
+            total += rows * log_rows * params.sort_cmp_s
+        elif idiom.kind == "abap_sort":
+            total += rows * log_rows * params.sort_cmp_s
+    return total
+
+
+# -- module loading ---------------------------------------------------------
+
+
+def _exec_module(name: str, source: str, path: str) -> types.ModuleType:
+    mod = types.ModuleType(name)
+    mod.__file__ = path
+    exec(compile(source, path, "exec"), mod.__dict__)
+    return mod
+
+
+def load_rewritten(main: ModuleRewrite,
+                   support: list[ModuleRewrite]) -> types.ModuleType:
+    """Exec the rewritten family module with its rewritten helpers.
+
+    References to original support modules (or to their top-level
+    functions) inside the family namespace are rebound to the
+    rewritten counterparts, so cross-module rewrites compose.
+    """
+    rewritten_support: dict[str, types.ModuleType] = {}
+    for mr in support:
+        rewritten_support[f"repro.reports.{mr.module}"] = _exec_module(
+            f"_rewritten_{mr.module}", mr.rewritten_source, mr.path)
+    mod = _exec_module(f"_rewritten_{main.module}",
+                       main.rewritten_source, main.path)
+    for attr, value in list(mod.__dict__.items()):
+        if isinstance(value, types.ModuleType) and \
+                value.__name__ in sys.modules and \
+                value.__name__ in rewritten_support:
+            mod.__dict__[attr] = rewritten_support[value.__name__]
+        elif callable(value):
+            for orig_name, new_mod in rewritten_support.items():
+                orig_mod = sys.modules.get(orig_name)
+                if orig_mod is not None and \
+                        getattr(orig_mod, getattr(value, "__name__", ""),
+                                None) is value and \
+                        hasattr(new_mod, value.__name__):
+                    mod.__dict__[attr] = getattr(new_mod, value.__name__)
+                    break
+    return mod
+
+
+# -- the harness ------------------------------------------------------------
+
+
+def _function_names_used(source: str, func: str) -> set[str]:
+    """Attribute/function names referenced inside ``func``'s body."""
+    import ast
+
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == func:
+            return {
+                sub.attr for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+            } | {
+                sub.id for sub in ast.walk(node)
+                if isinstance(sub, ast.Name)
+            }
+    return set()
+
+
+def verify_family(family: str, scale_factor: float,
+                  data=None) -> FamilyVerification:
+    """Plan, execute and differential-check one report family."""
+    import importlib
+
+    spec = FAMILIES[family]
+    schema = SchemaInfo(scale_factor)
+    base = reports_dir()
+    support = [plan_module(base / f"{name}.py", schema)
+               for name in spec["support"]]
+    main = plan_module(base / f"{spec['module']}.py", schema)
+    result = FamilyVerification(family, [main] + support)
+
+    for refusal in result.refusals:
+        if not refusal.reason.strip():
+            result.problems.append(
+                f"{refusal.rule} refusal at {refusal.func}:{refusal.line} "
+                f"carries no reason — refused-but-claimed-safe")
+
+    support_changed = {
+        fr.func for mr in support for fr in mr.functions.values()
+        if fr.changed
+    }
+    if not main.changed and not support_changed:
+        return result  # nothing to execute; planning evidence only
+
+    orig_mod = importlib.import_module(f"repro.reports.{spec['module']}")
+    new_mod = load_rewritten(main, support)
+    if data is None:
+        data = generate(scale_factor)
+    r3_orig = build_sap_system(data, R3Version.V30)
+    r3_new = build_sap_system(data, R3Version.V30)
+    queries_orig = orig_mod.make_queries(scale_factor)
+    queries_new = new_mod.make_queries(scale_factor)
+
+    analysis_orig = analyze_source(main.original_source, main.module,
+                                   main.path)
+    analysis_new = analyze_source(main.rewritten_source, main.module,
+                                  main.path)
+    buffered = frozenset(
+        a.table for a in result.applied if a.kind == "full_key")
+    params = SimParams()
+
+    result.executed = True
+    for number in sorted(queries_orig):
+        func = f"q{number}"
+        ledger = main.functions.get(func)
+        changed = ledger.changed if ledger else False
+        used = _function_names_used(main.original_source, func)
+        indirect = bool(support_changed & used)
+        entry = QueryVerification(number, changed, indirect)
+        result.queries.append(entry)
+        try:
+            span = r3_orig.measure()
+            rows_a = queries_orig[number](r3_orig)
+            entry.orig_s = span.stop()
+            span = r3_new.measure()
+            rows_b = queries_new[number](r3_new)
+            entry.new_s = span.stop()
+        except Exception as exc:  # noqa: BLE001 — report, then fail
+            entry.error = f"{type(exc).__name__}: {exc}"
+            result.problems.append(f"q{number} raised: {entry.error}")
+            continue
+        entry.rows_match = rows_match(rows_a, rows_b, ordered=True,
+                                      places=2)
+        if entry.new_s:
+            entry.measured_speedup = entry.orig_s / entry.new_s
+        if changed:
+            pred_orig = predicted_function_cost(
+                analysis_orig, func, schema, frozenset(), params)
+            pred_new = predicted_function_cost(
+                analysis_new, func, schema, buffered, params)
+            if pred_orig > 0 and pred_new > 0:
+                entry.predicted_speedup = pred_orig / pred_new
+        if not entry.rows_match:
+            result.problems.append(
+                f"q{number} rows diverge between original and rewritten")
+        if changed and entry.measured_speedup is not None and \
+                entry.measured_speedup < MIN_DIRECT_SPEEDUP:
+            result.problems.append(
+                f"q{number} was rewritten but measures "
+                f"{entry.measured_speedup:.2f}x — a regression")
+        if entry.predicted_speedup is not None and \
+                entry.predicted_speedup >= 2.0 and \
+                entry.measured_speedup is not None and \
+                entry.measured_speedup < PREDICTED_BACKSTOP and \
+                entry.orig_s is not None and \
+                entry.orig_s >= MIN_PREDICTION_BASIS_S:
+            result.problems.append(
+                f"q{number} predicted {entry.predicted_speedup:.1f}x "
+                f"but measured only {entry.measured_speedup:.2f}x")
+    return result
+
+
+def verify_families(families: list[str],
+                    scale_factor: float) -> list[FamilyVerification]:
+    data = generate(scale_factor)
+    return [verify_family(name, scale_factor, data=data)
+            for name in families]

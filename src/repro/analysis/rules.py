@@ -24,6 +24,8 @@ R007      SELECT SINGLE without the full key       Table 8, Section 4.3
 R008      embedded statement not analyzable        —
 R009      full-table report on a large table       Section 5
           eligible for a parallel partitioned scan
+R010      ORDER BY performed in ABAP (sorted()     Table 7, Section 4.2
+          over fetched rows the engine could sort)
 ========  =======================================  ===================
 """
 
@@ -96,6 +98,8 @@ RULES: list[Rule] = [
     Rule("R008", "embedded statement not statically analyzable", "—"),
     Rule("R009", "full-table report eligible for a parallel scan",
          "Section 5"),
+    Rule("R010", "ORDER BY performed in ABAP (sorted() over fetched rows)",
+         "Table 7, Section 4.2"),
 ]
 
 RULES_BY_ID = {rule.id: rule for rule in RULES}
@@ -631,7 +635,8 @@ def rule_unparseable(analysis: ModuleAnalysis,
             paper=RULES_BY_ID["R008"].paper,
             estimate={},
             key=_key("R008", site.module, site.func,
-                     site.parse_error or f"dynamic:{site.line}"),
+                     site.parse_error
+                     or f"dynamic:{site.sql_src or ''}"),
         ))
     return findings
 
@@ -696,6 +701,44 @@ def rule_parallel_candidate(analysis: ModuleAnalysis,
     return findings
 
 
+def rule_abap_sort(analysis: ModuleAnalysis,
+                   schema: SchemaInfo) -> list[Finding]:
+    """R010: ``sorted()`` over fetched rows the engine could order.
+
+    The application server pays ``n log n`` comparisons on rows the
+    engine has already materialised; ORDER BY runs the same sort next
+    to the data (with an index, for free).  ``sorted()`` over rows the
+    extractor cannot trace stays quiet — only provable pushdowns fire.
+    """
+    findings: list[Finding] = []
+    for idiom in analysis.idioms:
+        if idiom.kind != "abap_sort":
+            continue
+        source = idiom.source
+        if source is None or source.api == "exec_sql":
+            continue
+        if source.stmt is None:
+            continue
+        if source.stmt.order_by:
+            continue  # engine already orders; sorted() is redundant
+        rows = estimate_site_rows(source, schema)
+        findings.append(Finding(
+            rule="R010", severity=severity_for_rows(rows),
+            path=idiom.path, module=idiom.module, line=idiom.line,
+            func=idiom.func,
+            message=(
+                f"{idiom.detail} sorts ~{rows:,} fetched rows on the "
+                f"application server — ORDER BY would run the sort in "
+                f"the engine, next to the data"
+            ),
+            paper=RULES_BY_ID["R010"].paper,
+            estimate={"rows_shipped": rows},
+            key=_key("R010", idiom.module, idiom.func,
+                     source.sql or idiom.detail),
+        ))
+    return findings
+
+
 _RULE_FUNCS = [
     rule_select_in_loop,
     rule_select_star,
@@ -706,10 +749,19 @@ _RULE_FUNCS = [
     rule_partial_key_single,
     rule_unparseable,
     rule_parallel_candidate,
+    rule_abap_sort,
 ]
 
 
 def _key(rule: str, module: str, func: str, payload: str) -> str:
+    """Baseline fingerprint: rule + scope + *normalised* content.
+
+    The payload is whitespace-collapsed so reformatting a statement
+    (or any edit that merely moves lines around) never churns the
+    baseline — fingerprints follow what a site *does*, not where it
+    sits in the file.
+    """
+    payload = " ".join(payload.split())
     digest = hashlib.sha1(
         f"{rule}|{module}|{func}|{payload}".encode()
     ).hexdigest()[:10]

@@ -102,3 +102,47 @@ def test_cli_main_lint_json_no_baseline_fails(tmp_path, capsys):
     assert status == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["summary"]["new"] == payload["summary"]["total"]
+
+
+def test_missing_baseline_exits_two(tmp_path, capsys):
+    path = _write(tmp_path, LOOPING)
+    status = run_lint([path], baseline_path=tmp_path / "absent.json",
+                      emit=lambda _s: None)
+    assert status == 2
+    err = capsys.readouterr().err
+    assert "missing" in err and "--write-baseline" in err
+
+
+def test_unreadable_baseline_exits_two(tmp_path, capsys):
+    path = _write(tmp_path, LOOPING)
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    status = run_lint([path], baseline_path=corrupt,
+                      emit=lambda _s: None)
+    assert status == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_cli_main_missing_baseline_exits_two(tmp_path):
+    path = _write(tmp_path, LOOPING)
+    status = main(["lint", str(path),
+                   f"--baseline={tmp_path / 'absent.json'}"])
+    assert status == 2
+
+
+def test_fingerprints_survive_line_drift(tmp_path):
+    """Inserting blank lines above every finding site must not churn
+    a single baseline key — fingerprints follow content, not lines."""
+    from repro.analysis.costmodel import SchemaInfo
+    from repro.analysis.extractor import analyze_module
+    from repro.analysis.rules import run_rules
+
+    schema = SchemaInfo(scale_factor=1.0)
+    path = _write(tmp_path, LOOPING)
+    before = {f.key for f in run_rules([analyze_module(path)], schema)}
+    assert before
+
+    drifted = textwrap.dedent(LOOPING).replace("\n", "\n\n")
+    path.write_text("# a leading comment\n\n" + drifted)
+    after = {f.key for f in run_rules([analyze_module(path)], schema)}
+    assert after == before

@@ -175,3 +175,82 @@ def test_release_inference():
     assert infer_release("open30") == "3.0"
     assert infer_release("rdbms") == "3.0"
     assert infer_release("common") is None
+
+
+def test_decorated_function_still_analyzed(analyze):
+    analysis = analyze("""
+        import functools
+
+        def traced(fn):
+            return fn
+
+        @traced
+        @functools.lru_cache(maxsize=None)
+        def q(r3):
+            return r3.open_sql.select(
+                "SELECT matnr FROM mara WHERE mtart = :t", {"t": "X"})
+    """)
+    (site,) = analysis.sites
+    assert site.func == "q"
+    assert site.stmt is not None and site.stmt.table == "mara"
+
+
+def test_nested_function_sites_are_attributed(analyze):
+    analysis = analyze("""
+        def q(r3):
+            def probe(matnr):
+                return r3.open_sql.select_single(
+                    "SELECT SINGLE mtart FROM mara WHERE matnr = :m",
+                    {"m": matnr})
+            rows = r3.open_sql.select("SELECT matnr FROM mara")
+            return [probe(m) for m, in rows.rows]
+    """)
+    tables = {s.stmt.table for s in analysis.sites if s.stmt}
+    assert tables == {"mara"}
+    assert len(analysis.sites) == 2
+
+
+def test_fstring_format_spec_stays_dynamic(analyze):
+    analysis = analyze("""
+        def q(r3, width):
+            return r3.open_sql.select(
+                f"SELECT matnr FROM mara WHERE mfrpn LIKE '{width:>8}'")
+
+        def q_conv(r3, part):
+            return r3.open_sql.select(
+                f"SELECT matnr FROM mara WHERE mfrpn LIKE {part!r}")
+    """)
+    by_func = {s.func: s for s in analysis.sites}
+    for func in ("q", "q_conv"):
+        site = by_func[func]
+        assert site.dynamic
+        # The marker keeps the statement parseable and the normalised
+        # text recorded for fingerprinting.
+        assert site.sql_src
+        assert site.stmt is not None and site.stmt.table == "mara"
+
+
+def test_abap_sort_idiom_extracted(analyze):
+    analysis = analyze("""
+        def q(r3):
+            rows = r3.open_sql.select("SELECT lifnr land1 FROM lfa1")
+            return sorted(rows.rows)
+    """)
+    (idiom,) = [i for i in analysis.idioms if i.kind == "abap_sort"]
+    assert idiom.func == "q"
+    assert idiom.source is not None
+    assert idiom.source.stmt.table == "lfa1"
+    assert "lfa1" in idiom.detail
+
+
+def test_abap_sort_over_group_aggregate(analyze):
+    analysis = analyze("""
+        def q(r3):
+            rows = r3.open_sql.select("SELECT prior netwr FROM vbak")
+            return sorted(group_aggregate(
+                r3, rows.rows, lambda g: (g[0],),
+                lambda key, group: key + (len(group),)))
+    """)
+    (idiom,) = [i for i in analysis.idioms if i.kind == "abap_sort"]
+    assert idiom.source is not None
+    assert idiom.source.stmt.table == "vbak"

@@ -1,0 +1,346 @@
+"""Rewrite transformer unit tests over small synthetic reports.
+
+Each transform is exercised on its target shape (must apply, and the
+rewritten source must carry the pushed-down SQL) and on a near-miss
+variant (must refuse, with a reason naming the violated precondition).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.costmodel import SchemaInfo
+from repro.analysis.rewrite.planner import plan_module
+from repro.analysis.rewrite.render import render_select
+from repro.r3.opensql.parser import parse_open_sql
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return SchemaInfo(scale_factor=0.01)
+
+
+@pytest.fixture()
+def plan(tmp_path, schema):
+    def run(source: str, name: str = "open22_case.py"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return plan_module(path, schema)
+
+    return run
+
+
+def kinds_of(module):
+    return {a.kind for a in module.applied}
+
+
+def reasons_of(module):
+    return " | ".join(r.reason for r in module.refusals)
+
+
+# -- renderer ---------------------------------------------------------------
+
+
+ROUND_TRIPS = [
+    "SELECT matnr mtart FROM mara WHERE mtart = :t",
+    "SELECT SINGLE netpr FROM eine WHERE infnr = :i AND ekorg = '1000'",
+    "SELECT lifnr FROM lfa1 WHERE land1 IN ( 'DE', 'FR' ) "
+    "ORDER BY lifnr",
+    "SELECT prior COUNT( * ) SUM( netwr ) FROM vbak "
+    "GROUP BY prior ORDER BY prior",
+    "SELECT matnr FROM mara WHERE mfrpn LIKE :p AND ntgew >= 10.5 "
+    "UP TO 5 ROWS",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIPS)
+def test_render_parse_round_trip(text):
+    rendered = render_select(parse_open_sql(text))
+    # Rendering is a fixed point: parse-back yields the same text.
+    assert render_select(parse_open_sql(rendered)) == rendered
+
+
+# -- R001 join merge --------------------------------------------------------
+
+
+MERGE_UNUSED = """
+    def q(r3):
+        out = []
+        for infnr, matnr in r3.open_sql.select(
+                "SELECT infnr matnr FROM eina").rows:
+            price = r3.open_sql.select_single(
+                "SELECT SINGLE netpr FROM eine WHERE infnr = :i",
+                {"i": infnr})
+            out.append((matnr, price[0]))
+        return out
+"""
+
+
+def test_merge_applies_on_unused_none_discipline(plan):
+    module = plan(MERGE_UNUSED)
+    (applied,) = module.applied
+    assert applied.rule == "R001" and applied.kind == "join_merge"
+    assert applied.table == "eine"
+    assert "INNER JOIN eine" in module.rewritten_source
+    # The probe variable is rebound from the widened outer row, so the
+    # body keeps reading ``price[0]`` unchanged.
+    assert "price[0]" in module.rewritten_source
+
+
+def test_merge_applies_on_none_filter(plan):
+    module = plan(MERGE_UNUSED.replace(
+        "out.append((matnr, price[0]))",
+        "if price is None:\n"
+        "                continue\n"
+        "            out.append((matnr, price[0]))",
+    ))
+    assert kinds_of(module) == {"join_merge"}
+
+
+def test_merge_applies_on_trailing_not_none_guard(plan):
+    module = plan("""
+        def q(r3):
+            out = []
+            for infnr, matnr in r3.open_sql.select(
+                    "SELECT infnr matnr FROM eina").rows:
+                price = r3.open_sql.select_single(
+                    "SELECT SINGLE netpr FROM eine WHERE infnr = :i",
+                    {"i": infnr})
+                if price is not None and price[0] > 100.0:
+                    out.append((matnr, price[0]))
+            return out
+    """)
+    assert kinds_of(module) == {"join_merge"}
+
+
+def test_merge_refuses_handled_none(plan):
+    module = plan(MERGE_UNUSED.replace(
+        "out.append((matnr, price[0]))",
+        "out.append((matnr, 0.0 if price is None else price[0]))",
+    ))
+    # The merge refuses; R007 still buffers the probe as a fallback.
+    assert "join_merge" not in kinds_of(module)
+    assert "drop rows" in reasons_of(module)
+
+
+def test_merge_refuses_impure_preamble(plan):
+    module = plan(MERGE_UNUSED.replace(
+        "price = r3.open_sql.select_single",
+        "log(matnr)\n"
+        "            price = r3.open_sql.select_single",
+    ))
+    assert "join_merge" not in kinds_of(module)
+    assert "side effects" in reasons_of(module)
+
+
+def test_merge_refuses_non_unique_probe(plan, tmp_path, schema):
+    # vbap's key is (vbeln, posnr); binding only a non-key column
+    # cannot prove a unique match, so the merge must refuse.
+    module = plan("""
+        def q(r3):
+            out = []
+            for vbeln, in r3.open_sql.select(
+                    "SELECT vbeln FROM vbak").rows:
+                item = r3.open_sql.select_single(
+                    "SELECT SINGLE netpr FROM vbap WHERE matnr = :m",
+                    {"m": vbeln})
+                out.append(item[0])
+            return out
+    """)
+    assert not module.applied
+    assert "unique" in reasons_of(module)
+
+
+def test_multi_row_inner_select_refused_not_merged(plan):
+    module = plan("""
+        def q(r3):
+            out = []
+            for infnr, in r3.open_sql.select(
+                    "SELECT infnr FROM eina").rows:
+                prices = r3.open_sql.select(
+                    "SELECT netpr FROM eine WHERE infnr = :i",
+                    {"i": infnr})
+                out.extend(prices.rows)
+            return out
+    """)
+    assert not module.applied
+    assert "multiple rows" in reasons_of(module)
+
+
+# -- R001 hoist -------------------------------------------------------------
+
+
+def test_loop_invariant_select_is_hoisted(plan):
+    module = plan("""
+        def q(r3):
+            out = []
+            for matnr, in r3.open_sql.select(
+                    "SELECT matnr FROM mara").rows:
+                suppliers = r3.open_sql.select(
+                    "SELECT lifnr FROM lfa1")
+                out.append((matnr, len(suppliers.rows)))
+            return out
+    """)
+    (applied,) = module.applied
+    assert applied.kind == "hoist"
+    # The hoisted assignment now precedes the loop.
+    body = module.rewritten_source
+    assert body.index("suppliers = ") < body.index("for matnr")
+
+
+def test_loop_dependent_select_is_not_hoisted(plan):
+    module = plan("""
+        def q(r3):
+            out = []
+            for land1, in r3.open_sql.select(
+                    "SELECT land1 FROM t005").rows:
+                names = r3.open_sql.select(
+                    "SELECT name1 FROM kna1 WHERE land1 = :c",
+                    {"c": land1})
+                out.extend(names.rows)
+            return out
+    """)
+    assert "hoist" not in kinds_of(module)
+
+
+# -- R005 group pushdown ----------------------------------------------------
+
+
+GROUPED = """
+    from repro.r3.abap import group_aggregate
+
+    def q(r3):
+        rows = r3.open_sql.select(
+            "SELECT prior netwr FROM vbak WHERE netwr > :minval",
+            {"minval": 250000.0})
+        return sorted(group_aggregate(
+            r3, rows.rows, lambda g: (g[0],),
+            lambda key, group: key + (len(group),
+                                      sum(g[1] for g in group)),
+        ))
+"""
+
+
+def test_group_aggregate_pushed_to_group_by(plan):
+    module = plan(GROUPED)
+    rules = {a.rule for a in module.applied}
+    assert rules == {"R005", "R010"}  # chained sorted() subsumption
+    src = module.rewritten_source
+    assert "GROUP BY prior" in src
+    assert "COUNT( * )" in src and "SUM( netwr )" in src
+    assert "group_aggregate" not in src.split("def q")[1]
+
+
+def test_group_pushdown_renders_avg(plan):
+    module = plan(GROUPED.replace(
+        "key + (len(group),\n"
+        "                                      sum(g[1] for g in group))",
+        "key + (sum(g[1] for g in group) / len(group),)",
+    ))
+    assert "R005" in {a.rule for a in module.applied}
+    assert "AVG( netwr )" in module.rewritten_source
+
+
+def test_group_pushdown_skips_opaque_fold(plan):
+    module = plan(GROUPED.replace(
+        "key + (len(group),\n"
+        "                                      sum(g[1] for g in group))",
+        "fold_elsewhere(key, group)",
+    ))
+    assert "group_pushdown" not in kinds_of(module)
+
+
+# -- R010 order pushdown ----------------------------------------------------
+
+
+def test_sorted_over_select_becomes_order_by(plan):
+    module = plan("""
+        def q(r3):
+            rows = r3.open_sql.select("SELECT lifnr land1 FROM lfa1")
+            return sorted(rows.rows)
+    """)
+    (applied,) = module.applied
+    assert applied.rule == "R010" and applied.kind == "order_pushdown"
+    assert "ORDER BY lifnr land1" in module.rewritten_source
+
+
+def test_order_pushdown_refuses_up_to(plan):
+    module = plan("""
+        def q(r3):
+            rows = r3.open_sql.select(
+                "SELECT lifnr land1 FROM lfa1 UP TO 5 ROWS")
+            return sorted(rows.rows)
+    """)
+    assert not module.applied
+    assert "UP TO" in reasons_of(module)
+
+
+def test_order_pushdown_refuses_other_uses(plan):
+    module = plan("""
+        def q(r3):
+            rows = r3.open_sql.select("SELECT lifnr land1 FROM lfa1")
+            first = rows.rows[0]
+            return first, sorted(rows.rows)
+    """)
+    assert not module.applied
+    assert "used elsewhere" in reasons_of(module)
+
+
+# -- R007 full-key completion -----------------------------------------------
+
+
+def test_partial_key_completed_with_installation_constants(plan):
+    module = plan("""
+        def q(r3):
+            return r3.open_sql.select_single(
+                "SELECT SINGLE netpr FROM eine WHERE infnr = :i",
+                {"i": "IR0000042"})
+    """)
+    (applied,) = module.applied
+    assert applied.rule == "R007" and applied.kind == "full_key"
+    src = module.rewritten_source
+    assert "ekorg = '1000'" in src
+    assert "esokz = '0'" in src and "werks = '0001'" in src
+    # The buffer-activation guard lands right inside the function.
+    assert "active_for" in src and "configure" in src
+
+
+def test_row_specific_missing_key_refused(plan):
+    module = plan("""
+        def q(r3):
+            return r3.open_sql.select_single(
+                "SELECT SINGLE mtart FROM mara")
+    """)
+    assert not module.applied
+    assert "row-specific" in reasons_of(module)
+
+
+def test_disjunctive_where_refused(plan):
+    module = plan("""
+        def q(r3):
+            return r3.open_sql.select_single(
+                "SELECT SINGLE netpr FROM eine "
+                "WHERE infnr = :i OR infnr = :j",
+                {"i": "A", "j": "B"})
+    """)
+    assert not module.applied
+    assert "disjunctive" in reasons_of(module)
+
+
+# -- ledger hygiene ---------------------------------------------------------
+
+
+def test_every_refusal_carries_a_reason(plan):
+    module = plan(MERGE_UNUSED.replace(
+        "out.append((matnr, price[0]))",
+        "out.append((matnr, 0.0 if price is None else price[0]))",
+    ))
+    assert all(r.reason.strip() for r in module.refusals)
+
+
+def test_rewritten_module_compiles_and_diff_is_stable(plan):
+    module = plan(MERGE_UNUSED)
+    compile(module.rewritten_source, "<rewritten>", "exec")
+    diff = module.diff()
+    assert diff.startswith("--- a/")
+    assert "INNER JOIN" in diff

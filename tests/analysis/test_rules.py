@@ -277,3 +277,32 @@ def test_predicate_fingerprint_matches_shared_plan(schema):
         "SELECT vbeln FROM vbak WHERE audat >= :lo AND netwr > :n")
     assert predicate_fingerprint(different, schema) != \
         predicate_fingerprint(lo, schema)
+
+
+def test_r010_abap_sort_over_select(lint):
+    findings = lint("""
+        def q(r3):
+            rows = r3.open_sql.select("SELECT lifnr land1 FROM lfa1")
+            return sorted(rows.rows)
+    """)
+    (f,) = [f for f in findings if f.rule == "R010"]
+    assert "ORDER BY" in f.message
+    assert f.estimate["rows_shipped"] > 0
+
+
+def test_r010_quiet_when_engine_already_orders(lint):
+    findings = lint("""
+        def q(r3):
+            rows = r3.open_sql.select(
+                "SELECT lifnr land1 FROM lfa1 ORDER BY lifnr")
+            return sorted(rows.rows)
+    """)
+    assert "R010" not in rules_of(findings)
+
+
+def test_r010_quiet_on_untraceable_source(lint):
+    findings = lint("""
+        def q(r3, records):
+            return sorted(records)
+    """)
+    assert "R010" not in rules_of(findings)
