@@ -29,9 +29,19 @@ and rewritten reports against the same seeded database):
     python -m repro rewrite --check --family open22 --sf 0.001 \
         --report rewrite-report.json
 
-the benchmark-result differ:
+the benchmark-result differ (``--gate`` turns it into a CI regression
+gate: exit 1 when any extra_info field moved more than the threshold):
 
     python -m repro bench-diff BENCH_old.json BENCH_new.json
+    python -m repro bench-diff BENCH_base.json BENCH_new.json \
+        --gate 10 --gate-allow wall_s,overhead_pct
+
+the always-on workload monitor (runs a monitored throughput workload
+and prints the ST03/ST04-style report with CCMS alerts):
+
+    python -m repro monitor --profile --sf 0.001
+    python -m repro monitor --alerts --stat-records --format=json \
+        --monitor-out workload-report.json
 
 the chaos harness (dispatcher-scheduled throughput under fault
 storms; exits 1 if any robustness invariant is violated):
@@ -62,6 +72,11 @@ from repro.core.results import duration_cell, kb_cell, render_table
 from repro.r3.appserver import R3Version
 from repro.sim.clock import format_duration
 from repro.tpcd.dbgen import generate
+
+
+#: sentinel for a bare ``--profile`` (the monitor's section flag);
+#: chaos treats it as "all"
+PROFILE_FLAG = "__flag__"
 
 
 def _version(args) -> R3Version:
@@ -226,9 +241,18 @@ def cmd_chaos(args) -> int:
         print(f"chaos: --streams must list positive integers: "
               f"{args.streams!r}", file=sys.stderr)
         return 2
+    # --profile doubles as the monitor command's section flag, so
+    # argparse cannot enforce choices; validate here.
+    profile = args.profile
+    if profile is None or profile == PROFILE_FLAG:
+        profile = "all"
+    if profile != "all" and profile not in CHAOS_PROFILES:
+        print(f"chaos: unknown --profile {profile!r} (choose from "
+              f"none, light, heavy, all)", file=sys.stderr)
+        return 2
     profiles = (tuple(sorted(CHAOS_PROFILES, key=("none", "light",
                                                   "heavy").index))
-                if args.profile == "all" else (args.profile,))
+                if profile == "all" else (profile,))
     report = run_chaos(scale_factor=args.sf, stream_counts=stream_counts,
                        profiles=profiles)
     payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
@@ -294,6 +318,16 @@ def cmd_bench_diff(args) -> int:
     return run_bench_diff(args)
 
 
+def cmd_monitor(args) -> int:
+    from repro.monitor.cli import run_monitor_command
+
+    if args.format == "chrome":
+        print("monitor: --format=chrome is only valid for 'trace'",
+              file=sys.stderr)
+        return 2
+    return run_monitor_command(args)
+
+
 COMMANDS = {
     "power": cmd_power,
     "trace": cmd_trace,
@@ -301,6 +335,7 @@ COMMANDS = {
     "rewrite": cmd_rewrite,
     "bench-diff": cmd_bench_diff,
     "chaos": cmd_chaos,
+    "monitor": cmd_monitor,
     "recover": cmd_recover,
     "dbsize": cmd_dbsize,
     "loading": cmd_loading,
@@ -373,13 +408,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--streams", default="2,4,8",
                        help="comma-separated stream counts to sweep "
                             "(default 2,4,8)")
-    chaos.add_argument("--profile",
-                       choices=["none", "light", "heavy", "all"],
-                       default="all",
-                       help="fault profile(s) to sweep (default all)")
+    chaos.add_argument("--profile", nargs="?", const=PROFILE_FLAG,
+                       default=None,
+                       help="chaos: fault profile(s) to sweep (none, "
+                            "light, heavy, all; default all) / "
+                            "monitor: include the ST03 workload "
+                            "profile section")
     chaos.add_argument("--chaos-out", default=None,
                        help="also write the JSON chaos report to this "
                             "file")
+    monitor = parser.add_argument_group("monitor")
+    monitor.add_argument("--alerts", action="store_true",
+                         help="monitor: include the CCMS alert section")
+    monitor.add_argument("--stat-records", action="store_true",
+                         help="monitor: include the raw STAT-record "
+                              "ring")
+    monitor.add_argument("--monitor-streams", type=int, default=6,
+                         help="monitor: dialog streams for the "
+                              "monitored workload (default 6)")
+    monitor.add_argument("--window", type=float, default=1.0,
+                         help="monitor: gauge sample window in "
+                              "simulated seconds (default 1.0)")
+    monitor.add_argument("--monitor-out", default=None,
+                         help="monitor: also write the JSON workload "
+                              "report to this file")
+    bench = parser.add_argument_group("bench-diff")
+    bench.add_argument("--gate", type=float, default=None,
+                       help="bench-diff: fail (exit 1) when any "
+                            "extra_info field moved more than this "
+                            "many percent")
+    bench.add_argument("--gate-allow", default=None,
+                       help="bench-diff: comma-separated extra_info "
+                            "fields exempt from --gate")
     fuzz = parser.add_argument_group("crash-fuzz / recover")
     fuzz.add_argument("--crash-fuzz", action="store_true",
                       help="chaos: run the crash-point fuzz sweep "

@@ -51,6 +51,8 @@ class PowerTestResult:
     failures: dict[str, dict[str, str]] = field(default_factory=dict)
     #: variant -> Tracer with the full span tree (tracing runs only)
     traces: dict[str, object] = field(default_factory=dict)
+    #: variant -> WorkloadMonitor with STAT records (monitoring runs only)
+    monitors: dict[str, object] = field(default_factory=dict)
 
     def total(self, variant: str, queries_only: bool = False) -> float:
         names = paperdata.QUERIES if queries_only \
@@ -164,12 +166,16 @@ def run_power_test(
     query_timeout_s: float | None = None,
     tracing: bool = False,
     degree: int = 1,
+    monitoring: bool = False,
 ) -> PowerTestResult:
     """Run the power test; with ``tracing=True`` each variant's system
     records a full hierarchical trace (enabled after load, so the trace
     covers the measured suite only) available in ``result.traces``.
-    ``degree`` sets intra-query parallelism on every variant's
-    database; at the default of 1 execution is strictly serial."""
+    ``monitoring=True`` likewise enables each variant's workload
+    monitor after load (query steps land as dialog STAT records, UF
+    steps as update ones) available in ``result.monitors``.  ``degree``
+    sets intra-query parallelism on every variant's database; at the
+    default of 1 execution is strictly serial."""
     data = data or generate(scale_factor)
     refresh = generate_refresh_orders(data)
     doomed = delete_keys(data)
@@ -180,10 +186,14 @@ def run_power_test(
         if tracing:
             db.tracer.enable()
             result.traces["rdbms"] = db.tracer
+        if monitoring:
+            db.monitor.enable()
+            result.monitors["rdbms"] = db.monitor
         (result.times["rdbms"], result.row_counts["rdbms"],
          result.failures["rdbms"]) = _run_rdbms(
             db, scale_factor, refresh, doomed, include_updates,
             query_timeout_s)
+        db.monitor.finish()
 
     sap_suites = {
         "native": (native22 if version is R3Version.V22
@@ -199,18 +209,24 @@ def run_power_test(
         if tracing:
             r3.tracer.enable()
             result.traces[variant] = r3.tracer
+        if monitoring:
+            r3.monitor.enable()
+            result.monitors[variant] = r3.monitor
         times: dict[str, float] = {}
         counts: dict[str, int] = {}
         failed: dict[str, str] = {}
         for number in range(1, 18):
             name = f"Q{number}"
             suite_fn = sap_suites[variant][number]
+            step = r3.monitor.begin_step("dialog", name, wp="PWR")
             with r3.tracer.span("power.query", capture_metrics=True,
                                 name=name, variant=variant) as qspan:
                 elapsed, rows, reason = _guarded(
                     r3.clock, r3.metrics, name, query_timeout_s,
                     lambda fn=suite_fn: fn(r3))
                 qspan.set(elapsed_s=elapsed, failed=reason is not None)
+            r3.monitor.end_step(
+                step, outcome="completed" if reason is None else "failed")
             times[name] = elapsed
             if reason is None:
                 counts[name] = len(rows)
@@ -222,17 +238,22 @@ def run_power_test(
                 # implementation; measure once, record for both.
                 for name, fn in (("UF1", lambda: run_uf1_sap(r3, refresh)),
                                  ("UF2", lambda: run_uf2_sap(r3, doomed))):
+                    step = r3.monitor.begin_step("update", name, wp="PWR")
                     with r3.tracer.span("power.query", capture_metrics=True,
                                         name=name, variant=variant) as uspan:
                         elapsed, _, reason = _guarded(
                             r3.clock, r3.metrics, name, query_timeout_s, fn)
                         uspan.set(elapsed_s=elapsed,
                                   failed=reason is not None)
+                    r3.monitor.end_step(
+                        step,
+                        outcome="completed" if reason is None else "failed")
                     uf_times[name] = elapsed
                     if reason is not None:
                         uf_failures[name] = reason
             times.update(uf_times)
             failed.update(uf_failures)
+        r3.monitor.finish()
         result.times[variant] = times
         result.row_counts[variant] = counts
         result.failures[variant] = failed
@@ -250,12 +271,15 @@ def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
     for number in sorted(specs):
         name = f"Q{number}"
         spec = specs[number]
+        step = db.monitor.begin_step("dialog", name, wp="SQL")
         with db.tracer.span("power.query", capture_metrics=True,
                             name=name, variant="rdbms") as qspan:
             elapsed, rows, reason = _guarded(
                 db.clock, db.metrics, name, query_timeout_s,
                 lambda s=spec: run_query(db, s))
             qspan.set(elapsed_s=elapsed, failed=reason is not None)
+        db.monitor.end_step(
+            step, outcome="completed" if reason is None else "failed")
         times[name] = elapsed
         if reason is None:
             counts[name] = len(rows.rows)
@@ -264,11 +288,14 @@ def _run_rdbms(db: Database, scale_factor: float, refresh: TpcdData,
     if include_updates:
         for name, fn in (("UF1", lambda: run_uf1_rdbms(db, refresh)),
                          ("UF2", lambda: run_uf2_rdbms(db, doomed))):
+            step = db.monitor.begin_step("update", name, wp="SQL")
             with db.tracer.span("power.query", capture_metrics=True,
                                 name=name, variant="rdbms") as uspan:
                 elapsed, _, reason = _guarded(
                     db.clock, db.metrics, name, query_timeout_s, fn)
                 uspan.set(elapsed_s=elapsed, failed=reason is not None)
+            db.monitor.end_step(
+                step, outcome="completed" if reason is None else "failed")
             times[name] = elapsed
             if reason is not None:
                 failed[name] = reason

@@ -85,6 +85,11 @@ ROBUSTNESS_COUNTERS = [
     ("recovery.loser_txns", "Loser transactions", "count"),
     ("recovery.torn_tail_dropped", "Torn log tails dropped", "count"),
     ("recovery.time_s", "Recovery time", "duration"),
+    ("monitor.stat_records", "STAT records written", "count"),
+    ("monitor.samples", "Monitor gauge samples", "count"),
+    ("monitor.alerts_fired", "CCMS alerts fired", "count"),
+    ("monitor.alerts_cleared", "CCMS alerts cleared", "count"),
+    ("monitor.statements_dropped", "ST04 statements dropped", "count"),
 ]
 
 

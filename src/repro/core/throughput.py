@@ -279,5 +279,6 @@ def run_throughput_test(
         if disp.queue_depth == 0 \
                 and all(pos >= length for pos in positions):
             break
+    r3.monitor.finish()
     result.elapsed_s = total_span.stop()
     return result

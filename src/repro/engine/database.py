@@ -46,6 +46,7 @@ from repro.engine.wal import (
     schema_from_payload,
     schema_to_payload,
 )
+from repro.monitor.core import WorkloadMonitor
 from repro.sim.clock import SimulatedClock
 from repro.sim.disk import DiskModel
 from repro.sim.metrics import MetricsCollector
@@ -152,6 +153,8 @@ class Database:
         #: hierarchical span tracer (disabled by default, zero-overhead)
         self.tracer = Tracer(self.clock, self.metrics)
         self.ctx.tracer = self.tracer
+        #: always-on workload monitor (disabled by default, zero-tick)
+        self.monitor = WorkloadMonitor(self.clock, self.metrics)
         #: version-checked partition overlays for parallel scans
         self.partitions = PartitionManager(self.ctx)
         self._partition_choices: dict[str, tuple[str, str]] = {}
@@ -167,6 +170,7 @@ class Database:
             self.wal = WriteAheadLog(wal_store, self.clock, self.metrics,
                                      self.disk, self.params)
             self.wal.snapshot_provider = self._snapshot_for_checkpoint
+            self.wal.monitor = self.monitor
         self.degree = 1
         if degree > 1:
             self.set_degree(degree)
@@ -305,23 +309,26 @@ class Database:
 
     def _plan(self, stmt: SelectStmt, sql: str | None = None) -> PlannedQuery:
         self.metrics.count("db.plans")
-        self.clock.charge(self.params.plan_cpu_s)
-        with self.tracer.span("db.plan", sql=sql):
-            return self._planner.plan_select(stmt)
+        with self.monitor.layer("engine"):
+            self.clock.charge(self.params.plan_cpu_s)
+            with self.tracer.span("db.plan", sql=sql):
+                return self._planner.plan_select(stmt)
 
     def _run_plan(self, plan: PlannedQuery, params: Sequence[object],
                   sql: str | None = None) -> Result:
         self.metrics.count("db.queries")
         tracer = self.tracer
         if not tracer.enabled:
-            rows = list(plan.operator.rows(params))
+            with self.monitor.layer("engine"):
+                rows = list(plan.operator.rows(params))
             return Result(plan.column_names, rows)
         # EXPLAIN ANALYZE mode: instrument the plan (idempotent; the
         # profile accumulates across executions of a cached cursor).
         from repro.engine.exec.profile import attach_profile
 
         profile = attach_profile(plan.operator, self.clock, self.metrics)
-        with tracer.span("db.query", sql=sql) as span:
+        with tracer.span("db.query", sql=sql) as span, \
+                self.monitor.layer("engine"):
             rows = list(plan.operator.rows(params))
             span.set(rows=len(rows), profile=profile)
         return Result(plan.column_names, rows)
@@ -331,7 +338,8 @@ class Database:
     def _execute_dml(self, stmt, params: Sequence[object],
                      sql: str | None = None) -> Result:
         with self.tracer.span("db.dml", sql=sql,
-                              kind=type(stmt).__name__) as span:
+                              kind=type(stmt).__name__) as span, \
+                self.monitor.layer("engine"):
             wal = self.wal
             if wal is not None and not wal.in_txn and not wal.dead \
                     and not wal.recovering:

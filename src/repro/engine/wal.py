@@ -399,6 +399,8 @@ class WriteAheadLog:
         self._params = params
         #: optional FaultInjector; drives crash/torn-write injection
         self.faults = None
+        #: optional WorkloadMonitor; flushes run under its commit layer
+        self.monitor = None
         #: set once a SimulatedCrash killed this engine instance
         self.dead = False
         #: set while recovery replays history (suppresses re-logging)
@@ -544,6 +546,13 @@ class WriteAheadLog:
         """
         if self.dead or not self._buffer:
             return
+        if self.monitor is None:
+            self._flush_buffer()
+        else:
+            with self.monitor.layer("commit"):
+                self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
         buffered = self._buffer
         self._buffer = []
         total_bytes = 0

@@ -1,0 +1,183 @@
+"""CCMS-style alert rules: thresholds with hysteresis over gauge windows.
+
+An :class:`AlertRule` watches one gauge.  The engine is fed one gauge
+dict per monitor sample window; a rule *fires* after ``fire_after``
+consecutive breaching windows and *clears* after ``clear_after``
+consecutive non-breaching ones — the hysteresis that keeps a gauge
+oscillating around its threshold from ringing the bell on every sample.
+Windows in which the gauge was not observed (e.g. no buffered lookups
+happened, so no buffer-quality sample exists) leave the rule's streaks
+untouched.
+
+Everything runs on simulated time and plain comparisons, so a chaos
+sweep's alert log is bit-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "<": lambda value, threshold: value < threshold,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over a monitor gauge."""
+
+    name: str
+    gauge: str
+    op: str
+    threshold: float
+    #: consecutive breaching windows before the alert fires
+    fire_after: int = 1
+    #: consecutive calm windows before an active alert clears
+    clear_after: int = 1
+    severity: str = "yellow"
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown alert op {self.op!r} "
+                             f"(choose from {sorted(_OPS)})")
+        if self.fire_after < 1 or self.clear_after < 1:
+            raise ValueError(
+                f"{self.name}: fire_after/clear_after must be >= 1")
+
+    def breached(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        return f"{self.gauge} {self.op} {self.threshold:g}"
+
+
+@dataclass
+class AlertEvent:
+    """One transition: a rule firing or clearing at simulated time ``t``."""
+
+    kind: str                  #: ``fired`` | ``cleared``
+    rule: str
+    severity: str
+    t: float
+    value: float
+    condition: str
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rule": self.rule,
+            "severity": self.severity,
+            "t": round(self.t, 6),
+            "value": round(self.value, 6),
+            "condition": self.condition,
+        }
+
+
+class _RuleState:
+    __slots__ = ("breach_streak", "calm_streak", "active", "fired")
+
+    def __init__(self) -> None:
+        self.breach_streak = 0
+        self.calm_streak = 0
+        self.active = False
+        self.fired = 0
+
+
+@dataclass
+class AlertEngine:
+    """Streaming evaluator for a fixed rule set."""
+
+    rules: list[AlertRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names: {names}")
+        self._state = {rule.name: _RuleState() for rule in self.rules}
+        self.events: list[AlertEvent] = []
+
+    # -- feeding ---------------------------------------------------------
+
+    def observe(self, t: float, gauges: dict[str, float]) -> list[AlertEvent]:
+        """Evaluate one sample window; returns the transitions it caused."""
+        transitions: list[AlertEvent] = []
+        for rule in self.rules:
+            value = gauges.get(rule.gauge)
+            if value is None:
+                continue
+            state = self._state[rule.name]
+            if rule.breached(value):
+                state.breach_streak += 1
+                state.calm_streak = 0
+                if not state.active \
+                        and state.breach_streak >= rule.fire_after:
+                    state.active = True
+                    state.fired += 1
+                    transitions.append(AlertEvent(
+                        "fired", rule.name, rule.severity, t, value,
+                        rule.describe()))
+            else:
+                state.calm_streak += 1
+                state.breach_streak = 0
+                if state.active and state.calm_streak >= rule.clear_after:
+                    state.active = False
+                    transitions.append(AlertEvent(
+                        "cleared", rule.name, rule.severity, t, value,
+                        rule.describe()))
+        self.events.extend(transitions)
+        return transitions
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def fired_total(self) -> int:
+        return sum(state.fired for state in self._state.values())
+
+    def fired_by_rule(self) -> dict[str, int]:
+        return {name: state.fired
+                for name, state in self._state.items() if state.fired}
+
+    def active(self) -> list[str]:
+        return [name for name, state in self._state.items()
+                if state.active]
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": [
+                {"name": rule.name, "condition": rule.describe(),
+                 "severity": rule.severity,
+                 "fire_after": rule.fire_after,
+                 "clear_after": rule.clear_after,
+                 "fired": self._state[rule.name].fired,
+                 "active": self._state[rule.name].active}
+                for rule in self.rules
+            ],
+            "fired_total": self.fired_total,
+            "active": self.active(),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+def default_alert_rules() -> list[AlertRule]:
+    """The stock CCMS rule set.
+
+    Deliberately conservative: each default rule watches a gauge that is
+    *structurally* zero on a fault-free system (the breaker cannot open
+    and cannot fast-fail without injected faults; the WAL backlog only
+    grows when flushes fall behind appends), so the chaos invariant
+    "the ``none`` profile stays silent" holds by construction at every
+    stream count, while the heavy profile's breaker trip is guaranteed
+    to ring ``breaker_tripped``.  Noisier gauges (queue depth, buffer
+    quality) are for custom rules tuned to an installation's pool size.
+    """
+    return [
+        AlertRule("breaker_tripped", "breaker_open_events", ">=", 1,
+                  fire_after=1, clear_after=1, severity="red"),
+        AlertRule("fastfail_storm", "fastfail_events", ">=", 5,
+                  fire_after=1, clear_after=1, severity="yellow"),
+        AlertRule("wal_backlog_high", "wal_backlog", ">=", 512,
+                  fire_after=2, clear_after=2, severity="yellow"),
+    ]

@@ -1,0 +1,83 @@
+"""The ``python -m repro monitor`` command.
+
+Runs a monitored dispatcher-scheduled throughput workload (the open30
+suite plus update pairs on the chaos dispatcher pool) and prints the
+``repro-monitor-v1`` workload report — the ST03 profile, the ST04
+statement view, gauge series and the CCMS alert table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.monitor.profile import build_report, render_report
+
+
+def run_monitor_command(args) -> int:
+    from repro.core.powertest import build_sap_system
+    from repro.core.throughput import run_throughput_test
+    from repro.r3.appserver import R3Version
+    from repro.reports import open30
+    from repro.sim.chaos import default_chaos_config
+    from repro.tpcd.dbgen import delete_keys, generate, generate_refresh_orders
+
+    if args.monitor_streams < 1:
+        print(f"monitor: --monitor-streams must be >= 1: "
+              f"{args.monitor_streams}", file=sys.stderr)
+        return 2
+    if args.window <= 0:
+        print(f"monitor: --window must be > 0: {args.window}",
+              file=sys.stderr)
+        return 2
+    sections = []
+    if args.profile is not None:
+        sections.append("profile")
+    if args.alerts:
+        sections.append("alerts")
+    if args.stat_records:
+        sections.append("stat_records")
+    if not sections:
+        sections = ["profile", "alerts"]
+
+    data = generate(args.sf)
+    r3 = build_sap_system(data, R3Version.V30)
+    r3.monitor.sample_interval_s = args.window
+    r3.monitor.enable()
+    suite = open30.make_queries(args.sf)
+    pair_size = max(1, round(len(data.orders) * 0.001))
+    update_sets = [
+        (generate_refresh_orders(
+            data, seed=123 + i,
+            start_key=data.max_orderkey + 1 + i * pair_size),
+         delete_keys(data, seed=321 + i))
+        for i in range(2)
+    ]
+    result = run_throughput_test(
+        r3, suite, streams=args.monitor_streams, update_sets=update_sets,
+        dispatcher=default_chaos_config())
+
+    report = build_report(
+        r3.monitor,
+        meta={
+            "scale_factor": args.sf,
+            "release": "3.0",
+            "streams": args.monitor_streams,
+            "window_s": args.window,
+            "elapsed_s": round(result.elapsed_s, 6),
+            "queries_per_hour": round(result.queries_per_hour, 3),
+        },
+        include_stat_records="stat_records" in sections)
+
+    if args.format == "json":
+        payload = json.dumps(report, indent=2)
+    else:
+        payload = render_report(report, sections=tuple(sections))
+    print(payload)
+    if args.monitor_out:
+        with open(args.monitor_out, "w") as fh:
+            fh.write(json.dumps(report, indent=2))
+            fh.write("\n")
+        print(f"workload report written to {args.monitor_out}",
+              file=sys.stderr)
+    return 0

@@ -72,11 +72,17 @@ class R3System:
         self.metrics = self.db.metrics
         #: shared hierarchical tracer (one tree across all tiers)
         self.tracer = self.db.tracer
+        #: shared workload monitor (one STAT/gauge stream across tiers)
+        self.monitor = self.db.monitor
         self.client = client
         self.ddic = DataDictionary()
         #: optional FaultInjector (see :meth:`attach_faults`)
         self.faults = None
         self.dbif = DatabaseInterface(self)
+        self.monitor.attach_source(
+            "breaker_open",
+            lambda: {"closed": 0.0, "half_open": 0.5,
+                     "open": 1.0}[self.dbif.breaker.state.value])
         self.buffers = TableBufferManager(self)
         self.pools: dict[str, PoolContainer] = {}
         self.clusters: dict[str, ClusterContainer] = {}

@@ -68,6 +68,16 @@ class TableBufferManager:
     def __init__(self, r3) -> None:
         self._r3 = r3
         self._buffers: dict[str, TableBuffer] = {}
+        r3.monitor.attach_source("buffer_quality_total", self._quality)
+
+    def _quality(self) -> float | None:
+        """Cumulative hit ratio across all active buffers (the SAP
+        "buffer quality" figure); ``None`` before the first lookup."""
+        lookups = sum(b.stats.lookups for b in self._buffers.values())
+        if not lookups:
+            return None
+        hits = sum(b.stats.hits for b in self._buffers.values())
+        return hits / lookups
 
     def configure(self, table_name: str, max_bytes: int) -> TableBuffer:
         """Activate single-record buffering for one table."""

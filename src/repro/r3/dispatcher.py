@@ -147,6 +147,8 @@ class Dispatcher:
         #: occupancy at which low-priority admissions start shedding
         self._shed_threshold = max(
             1, int(self.config.shed_highwater * self.config.queue_capacity))
+        r3.monitor.attach_source(
+            "queue_depth", lambda: float(len(self.queue)))
 
     # -- admission -----------------------------------------------------------
 
@@ -223,6 +225,7 @@ class Dispatcher:
         self.queue = leftovers
         for wp, request, waited in batch:
             completions.append(self._serve(wp, request, waited))
+        r3.monitor.maybe_sample()
         return completions
 
     # -- service -------------------------------------------------------------
@@ -232,6 +235,11 @@ class Dispatcher:
         r3 = self._r3
         if queue_wait:
             r3.metrics.count("dispatcher.queue_wait_s", queue_wait)
+        task = ("update" if request.priority > PRIORITY_DIALOG
+                else "dialog")
+        step = r3.monitor.begin_step(
+            task, request.label, stream=request.stream, wp=wp.name,
+            queue_wait_s=queue_wait)
         with r3.tracer.span("dispatcher.serve", wp=wp.name,
                             label=request.label,
                             stream=request.stream) as span:
@@ -244,6 +252,7 @@ class Dispatcher:
                 if request.requeues > self.config.max_requeues:
                     r3.metrics.count("dispatcher.shed")
                     span.set(outcome="shed")
+                    r3.monitor.end_step(step, outcome="shed")
                     return Completion(
                         request, "shed", queue_wait_s=queue_wait,
                         reason=f"requeue budget exhausted after "
@@ -251,18 +260,21 @@ class Dispatcher:
                 r3.metrics.count("dispatcher.requeued")
                 self.queue.appendleft(request)
                 span.set(outcome="requeued")
+                r3.monitor.end_step(step, outcome="requeued")
                 return Completion(request, "requeued",
                                   queue_wait_s=queue_wait,
                                   reason=f"{type(exc).__name__}: {exc}")
             except TransientError as exc:
                 r3.metrics.count("dispatcher.shed")
                 span.set(outcome="shed")
+                r3.monitor.end_step(step, outcome="shed")
                 return Completion(
                     request, "shed", queue_wait_s=queue_wait,
                     reason=f"{type(exc).__name__}: {exc}")
             r3.metrics.count("dispatcher.completed")
             span.set(outcome="completed", service_s=service_s,
                      queue_wait_s=queue_wait)
+            r3.monitor.end_step(step)
             return Completion(request, "completed", service_s=service_s,
                               queue_wait_s=queue_wait, value=value)
 

@@ -80,7 +80,8 @@ class WorkProcess:
         span = r3.clock.span()
         try:
             if rollin_s:
-                r3.clock.charge(rollin_s)
+                with r3.monitor.layer("rollin"):
+                    r3.clock.charge(rollin_s)
                 r3.metrics.count("dispatcher.rollin_s", rollin_s)
             if r3.faults is not None:
                 try:
@@ -91,7 +92,8 @@ class WorkProcess:
                     raise
             value = fn()
             if rollout_s:
-                r3.clock.charge(rollout_s)
+                with r3.monitor.layer("rollout"):
+                    r3.clock.charge(rollout_s)
                 r3.metrics.count("dispatcher.rollout_s", rollout_s)
         except WorkProcessCrash:
             self.busy_s += span.stop()

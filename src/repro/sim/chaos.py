@@ -13,7 +13,12 @@ invariants that make the overload machinery trustworthy:
    circuit breaker returns to *closed* (a half-open probe after the
    cooldown succeeds against the healthy backend);
 3. **monotone degradation** — at a fixed stream count, a strictly
-   heavier fault profile never yields *more* queries/hour.
+   heavier fault profile never yields *more* queries/hour;
+4. **alert silence** — the workload monitor's default CCMS rules fire
+   zero alerts on ``none``-profile cells (no faults, no alarms; the
+   heavy profile's breaker trip firing ≥ 1 alert is asserted in the
+   test suite rather than as a sweep invariant, since tiny custom
+   sweeps need not provoke the breaker).
 
 Everything is deterministic: seeded profiles, the simulated clock and
 a fresh system per cell mean a sweep's JSON report is bit-identical
@@ -87,6 +92,8 @@ class ChaosCell:
     breaker_opened: int = 0
     breaker_final: str = BreakerState.CLOSED.value
     shed_reasons: dict[str, int] = field(default_factory=dict)
+    alerts_fired: int = 0
+    alerts_by_rule: dict[str, int] = field(default_factory=dict)
     conserved: bool = True
     breaker_recovered: bool = True
 
@@ -114,6 +121,10 @@ class ChaosCell:
                 "recovered": self.breaker_recovered,
             },
             "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "alerts": {
+                "fired": self.alerts_fired,
+                "by_rule": dict(sorted(self.alerts_by_rule.items())),
+            },
             "conserved": self.conserved,
         }
 
@@ -154,12 +165,13 @@ class ChaosReport:
                 cell.completed, cell.shed, cell.rejected, cell.requeued,
                 f"{cell.queue_wait_s:.1f}",
                 cell.breaker_opened,
+                cell.alerts_fired,
                 "ok" if (cell.conserved and cell.breaker_recovered)
                 else "VIOLATED",
             ])
         table = render_table(
             ["S", "Profile", "q/h", "Done", "Shed", "Rej", "Requeue",
-             "Qwait s", "Brk", "Invariants"],
+             "Qwait s", "Brk", "Alerts", "Invariants"],
             rows,
             title=f"Chaos sweep at SF={self.scale_factor} "
                   f"(dispatcher-scheduled throughput)")
@@ -193,6 +205,7 @@ def run_chaos_cell(data, streams: int, profile: FaultProfile,
     from repro.tpcd.dbgen import delete_keys, generate_refresh_orders
 
     r3 = build_sap_system(data, R3Version.V30)
+    r3.monitor.enable()
     suite = open30.make_queries(scale_factor)
     # Disjoint keyspaces: each UF1 set gets its own order-key range so
     # the pairs can be applied to the same database in sequence.
@@ -228,6 +241,10 @@ def run_chaos_cell(data, streams: int, profile: FaultProfile,
     cell.wp_restarts = int(base.get("dispatcher.wp_restarts"))
     cell.breaker_opened = breaker.opened_count
     cell.conserved = result.conservation_ok()
+    # Alert totals are captured before the recovery probe below: the
+    # probe is harness bookkeeping, not part of the measured storm.
+    cell.alerts_fired = r3.monitor.alerts.fired_total
+    cell.alerts_by_rule = r3.monitor.alerts.fired_by_rule()
 
     # Breaker recovery: the storm is over (faults detached).  If the
     # breaker is not closed, wait out the cooldown on the simulated
@@ -274,6 +291,11 @@ def run_chaos(
                 report.violations.append(
                     f"S={streams} {name}: breaker stuck "
                     f"{cell.breaker_final!r} after the storm ended")
+            if name == "none" and cell.alerts_fired:
+                report.violations.append(
+                    f"S={streams} none: {cell.alerts_fired} alert(s) "
+                    f"fired without injected faults "
+                    f"({cell.alerts_by_rule})")
     # Monotone degradation: within a stream count, heavier profiles
     # must not complete more work per hour (tiny tolerance for float
     # division noise).

@@ -48,14 +48,88 @@ def to_json(tracer, meta: dict | None = None) -> dict:
     }
 
 
+#: metric-delta counters promoted to their own chrome counter track
+_COUNTER_TRACKS = (
+    "dbif.roundtrips",
+    "dbif.tuples_shipped",
+    "buffer.hits",
+    "buffer.misses",
+    "buffer_mgr.hits",
+    "buffer_mgr.lookups",
+    "dbif.cursor_cache_hits",
+    "dbif.cursor_cache_misses",
+)
+
+#: derived hit-rate tracks: name -> (numerator, denominator-extra)
+_RATE_TRACKS = {
+    "buffer pool hit rate": ("buffer.hits", "buffer.misses"),
+    "cursor-cache hit rate": ("dbif.cursor_cache_hits",
+                              "dbif.cursor_cache_misses"),
+}
+
+
+def _counter_events(trace: dict, pid: int) -> list[dict]:
+    """Counter ('C') events from the spans' captured metric deltas.
+
+    Spans that captured metrics (e.g. ``power.query``) carry the
+    per-span counter deltas; accumulating them in span-end order gives
+    running totals, so ``chrome://tracing`` renders round trips and
+    buffer traffic as counter tracks under the span rows — plus derived
+    hit-rate tracks (pool, cursor cache, and the SAP buffer quality).
+    """
+    samples: list[tuple[float, dict]] = []
+
+    def collect(node: dict) -> None:
+        counters = node.get("counters")
+        if counters:
+            samples.append((node["end_s"], counters))
+        for child in node.get("children", ()):
+            collect(child)
+
+    for root in trace.get("spans", ()):
+        collect(root)
+    samples.sort(key=lambda sample: sample[0])
+    events: list[dict] = []
+    totals: dict[str, float] = {}
+    for end_s, counters in samples:
+        for metric in _COUNTER_TRACKS:
+            if metric in counters:
+                totals[metric] = totals.get(metric, 0.0) + counters[metric]
+        ts = end_s * 1e6
+        for metric in _COUNTER_TRACKS:
+            if metric in totals:
+                events.append({"ph": "C", "name": metric,
+                               "cat": metric.split(".", 1)[0],
+                               "ts": ts, "pid": pid,
+                               "args": {"count": totals[metric]}})
+        for track, (hit_metric, miss_metric) in _RATE_TRACKS.items():
+            hits = totals.get(hit_metric, 0.0)
+            misses = totals.get(miss_metric, 0.0)
+            if hits + misses > 0:
+                events.append({"ph": "C", "name": track, "cat": "rate",
+                               "ts": ts, "pid": pid,
+                               "args": {"rate": hits / (hits + misses)}})
+        lookups = totals.get("buffer_mgr.lookups", 0.0)
+        if lookups > 0:
+            events.append({
+                "ph": "C", "name": "buffer quality", "cat": "rate",
+                "ts": ts, "pid": pid,
+                "args": {"rate": totals.get("buffer_mgr.hits", 0.0)
+                         / lookups}})
+    return events
+
+
 def to_chrome(trace, tid: int = 1, pid: int = 1,
-              thread_name: str | None = None) -> dict:
+              thread_name: str | None = None,
+              counters: bool = True) -> dict:
     """Chrome Trace Event document from a tracer or a ``to_json`` dict.
 
     Every span becomes a complete ('X') event; simulated seconds map to
     the format's microsecond timestamps.  Operator profiles are left
     out of ``args`` (they have their own JSON form and would bloat the
-    viewer's tooltips).
+    viewer's tooltips).  With ``counters=True`` spans' captured metric
+    deltas additionally become counter ('C') tracks — running round-trip
+    totals and buffer/cursor hit rates alongside the span rows.
     """
     if not isinstance(trace, dict):
         trace = to_json(trace)
@@ -86,6 +160,8 @@ def to_chrome(trace, tid: int = 1, pid: int = 1,
 
     for root in trace.get("spans", ()):
         emit(root)
+    if counters:
+        events.extend(_counter_events(trace, pid))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",

@@ -20,7 +20,7 @@ class TestParser:
         assert set(COMMANDS) == {
             "power", "dbsize", "loading", "plan-trap", "aggregation",
             "caching", "warehouse", "eis", "lint", "trace", "bench-diff",
-            "chaos", "recover", "rewrite",
+            "chaos", "recover", "rewrite", "monitor",
         }
 
 

@@ -63,6 +63,37 @@ class TestInvariants:
         assert light.requeued + heavy.requeued >= 1
 
 
+class TestAlerts:
+    def test_heavy_storm_fires_ccms_alerts(self, report):
+        heavy = report.cell(2, "heavy")
+        assert heavy.alerts_fired >= 1
+        assert heavy.alerts_by_rule.get("breaker_tripped", 0) >= 1
+
+    def test_none_profile_stays_silent(self, report):
+        none = report.cell(2, "none")
+        assert none.alerts_fired == 0
+        assert none.alerts_by_rule == {}
+
+    def test_json_carries_alert_firings(self, report):
+        doc = report.to_json()
+        for cell in doc["cells"]:
+            assert "alerts" in cell
+            assert set(cell["alerts"]) == {"fired", "by_rule"}
+        heavy = next(c for c in doc["cells"] if c["profile"] == "heavy")
+        assert heavy["alerts"]["fired"] >= 1
+
+    def test_render_shows_alert_column(self, report):
+        assert "Alerts" in report.render()
+
+    def test_silent_none_cell_is_a_violation(self):
+        from repro.sim.chaos import ChaosReport
+
+        broken = ChaosReport(scale_factor=CHAOS_SF)
+        broken.violations.append(
+            "S=2 none: 1 alert(s) fired without injected faults")
+        assert not broken.ok
+
+
 class TestReport:
     def test_json_shape(self, report):
         doc = report.to_json()
@@ -160,3 +191,9 @@ class TestCli:
         from repro.__main__ import main
 
         assert main(["chaos", "--format", "chrome"]) == 2
+
+    def test_unknown_profile_value_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["chaos", "--profile", "nope"]) == 2
+        assert "unknown --profile" in capsys.readouterr().err

@@ -56,6 +56,30 @@ class TestMetricsCollector:
         assert snap.delta() == {"a": -3}
         assert snap.get("a") == -3
 
+    def test_delta_negative_when_counter_readded_lower(self):
+        metrics = MetricsCollector()
+        metrics.count("a", 10)
+        snap = metrics.snapshot()
+        metrics.reset()
+        metrics.count("a", 4)
+        # not dropped and not +4: reset-then-recount must be visible
+        assert snap.delta() == {"a": -6}
+        assert snap.get("a") == -6
+
+    def test_snapshot_isolation_across_collectors(self):
+        one, two = MetricsCollector(), MetricsCollector()
+        one.count("shared", 1)
+        snap_one = one.snapshot()
+        snap_two = two.snapshot()
+        one.count("shared", 2)
+        two.count("shared", 7)
+        two.count("other", 1)
+        assert snap_one.delta() == {"shared": 2}
+        assert snap_two.delta() == {"shared": 7, "other": 1}
+        # each snapshot reads only its own collector
+        assert snap_one.get("other") == 0
+        assert snap_two.get("shared") == 7
+
 
 class TestMetricsScope:
     def test_scoped_freezes_delta_at_exit(self):
@@ -70,3 +94,26 @@ class TestMetricsScope:
     def test_scope_before_enter_is_empty(self):
         scope = MetricsCollector().scoped()
         assert scope.delta == {} and scope.get("x") == 0
+
+    def test_nested_scopes_account_independently(self):
+        metrics = MetricsCollector()
+        with metrics.scoped() as outer:
+            metrics.count("a", 1)
+            with metrics.scoped() as inner:
+                metrics.count("a", 2)
+                metrics.count("b", 5)
+            metrics.count("a", 4)
+        # the inner scope sees only what happened inside it; the outer
+        # scope sees everything, including the inner block's counts
+        assert inner.delta == {"a": 2, "b": 5}
+        assert outer.delta == {"a": 7, "b": 5}
+
+    def test_nested_scope_live_reads_do_not_leak_outer(self):
+        metrics = MetricsCollector()
+        metrics.count("x", 3)
+        with metrics.scoped():
+            metrics.count("x", 1)
+            with metrics.scoped() as inner:
+                assert inner.get("x") == 0
+                metrics.count("x", 2)
+                assert inner.get("x") == 2
