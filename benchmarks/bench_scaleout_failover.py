@@ -1,0 +1,146 @@
+"""Scale-out: throughput and buffer quality vs app-server count, plus
+the cost of losing (and recovering) one server mid-run.
+
+The paper measures one application server; real installations scale by
+adding app servers in front of the one RDBMS (paper Section 2.3).  On
+the simulated serial clock extra servers add work-process slots and
+queue capacity, **not** CPU, so queries/hour stays roughly flat — what
+the sweep exposes is the coherence price: every server keeps its own
+table buffers, so the cluster-wide buffer quality drops as the same
+read stream is spread over more cold buffers, and DDLOG invalidations
+fan out to every peer.
+
+The failover cell crashes the last server ~30% into the run and
+rejoins it after a restart window: the delta against the same-N
+baseline prices one crash (re-routed sticky sessions, requeued dialog
+steps, a cold buffer re-warm) end to end.
+
+Dumps BENCH_scaleout_failover.json for ``repro bench-diff``.  Scale
+factor 0.001 keeps CI wall time sane; override with REPRO_SCALEOUT_SF.
+"""
+
+import json
+import os
+
+from repro.core.results import render_table
+from repro.sim.chaos import run_scaleout_cell
+from repro.tpcd.dbgen import generate
+
+SCALEOUT_SF = float(os.environ.get("REPRO_SCALEOUT_SF", "0.001"))
+SERVER_COUNTS = (1, 2, 4)
+STREAMS = 6
+SYNC_PERIOD_S = 5.0
+ROUTING = "sticky"
+
+
+def _dump(name: str, extra_info: dict) -> None:
+    out_dir = os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"name": name, "extra_info": extra_info, "stats": {}},
+                  handle, indent=2)
+        handle.write("\n")
+
+
+def test_scaleout_failover(benchmark):
+    data = generate(SCALEOUT_SF)
+
+    def scenario():
+        cells = {}
+        for n in SERVER_COUNTS:
+            cells[n] = run_scaleout_cell(
+                data, n_servers=n, streams=STREAMS,
+                scale_factor=SCALEOUT_SF, routing=ROUTING,
+                sync_period_s=SYNC_PERIOD_S)
+        baseline = cells[2]
+        kill_cell = run_scaleout_cell(
+            data, n_servers=2, streams=STREAMS,
+            scale_factor=SCALEOUT_SF, routing=ROUTING,
+            sync_period_s=SYNC_PERIOD_S, kill=True,
+            kill_at_s=baseline.elapsed_s * 0.3,
+            rejoin_after_s=baseline.elapsed_s * 0.25)
+        return cells, kill_cell
+
+    cells, kill_cell = benchmark.pedantic(scenario, rounds=1,
+                                          iterations=1)
+
+    extra = {"scale_factor": SCALEOUT_SF, "streams": STREAMS,
+             "routing": ROUTING, "sync_period_s": SYNC_PERIOD_S,
+             "scaling": {}}
+    rows = []
+    for n in SERVER_COUNTS:
+        cell = cells[n]
+        rows.append([
+            n, f"{cell.queries_per_hour:,.0f}",
+            (f"{cell.buffer_quality:.2f}"
+             if cell.buffer_quality is not None else "-"),
+            cell.ddlog_invalidations,
+            f"{cell.max_read_staleness_s:.3f}",
+            f"{cell.queue_wait_s:,.1f}",
+        ])
+        extra["scaling"][str(n)] = {
+            "elapsed_s": round(cell.elapsed_s, 3),
+            "queries_per_hour": round(cell.queries_per_hour, 3),
+            "buffer_quality": (round(cell.buffer_quality, 4)
+                               if cell.buffer_quality is not None
+                               else None),
+            "ddlog_invalidations": cell.ddlog_invalidations,
+            "max_read_staleness_s": round(cell.max_read_staleness_s, 6),
+            "queue_wait_s": round(cell.queue_wait_s, 3),
+        }
+
+    baseline = cells[2]
+    drop_pct = 100.0 * (baseline.queries_per_hour
+                        - kill_cell.queries_per_hour) \
+        / baseline.queries_per_hour
+    extra["failover"] = {
+        "queries_per_hour": round(kill_cell.queries_per_hour, 3),
+        "qph_drop_pct": round(drop_pct, 3),
+        "sessions_rerouted": kill_cell.sessions_rerouted,
+        "requeued": kill_cell.requeued,
+        "shed": kill_cell.shed,
+        "max_read_staleness_s": round(kill_cell.max_read_staleness_s, 6),
+        "recovered": kill_cell.recovered,
+    }
+
+    print()
+    print(render_table(
+        ["Servers", "q/h", "Buf quality", "DDLOG inv", "Staleness s",
+         "Queue wait s"],
+        rows,
+        title=f"Scale-out at SF={SCALEOUT_SF}, {STREAMS} streams, "
+              f"{ROUTING} routing, sync {SYNC_PERIOD_S}s"))
+    print(f"crash+recovery at N=2: {kill_cell.queries_per_hour:,.0f} q/h "
+          f"({drop_pct:+.1f}% vs fault-free), "
+          f"{kill_cell.sessions_rerouted} sessions re-routed, "
+          f"{kill_cell.requeued} steps requeued")
+
+    # bench-diff gates scalar extra_info fields only: flatten the
+    # figures that must not drift next to the nested detail.
+    for n in SERVER_COUNTS:
+        scaling = extra["scaling"][str(n)]
+        extra[f"qph_n{n}"] = scaling["queries_per_hour"]
+        extra[f"buffer_quality_n{n}"] = scaling["buffer_quality"]
+    extra["staleness_n2_s"] = \
+        extra["scaling"]["2"]["max_read_staleness_s"]
+    extra["qph_kill"] = extra["failover"]["queries_per_hour"]
+    extra["qph_kill_drop_pct"] = extra["failover"]["qph_drop_pct"]
+    extra["kill_sessions_rerouted"] = \
+        extra["failover"]["sessions_rerouted"]
+    _dump("scaleout_failover", extra)
+    benchmark.extra_info.update({
+        "qph_n1": extra["qph_n1"],
+        "qph_n2": extra["qph_n2"],
+        "qph_n4": extra["qph_n4"],
+        "qph_kill_drop_pct": extra["qph_kill_drop_pct"],
+    })
+
+    # Acceptance: conservation everywhere, staleness bounded by the
+    # sync period, a crash never helps, and recovery completes.
+    for cell in [*cells.values(), kill_cell]:
+        assert cell.conserved
+        assert cell.max_read_staleness_s < SYNC_PERIOD_S
+    assert kill_cell.queries_per_hour <= baseline.queries_per_hour
+    assert kill_cell.recovered
+    assert kill_cell.server_crashes == 1
+    assert kill_cell.server_rejoins == 1

@@ -49,6 +49,13 @@ storms; exits 1 if any robustness invariant is violated):
     python -m repro chaos --streams 4 --profile light --sf 0.001
     python -m repro chaos --streams 2,4,8 --profile all --chaos-out chaos.json
 
+the app-server failover scenario (multi-server scale-out with a
+mid-run crash; exits 1 if any scale-out invariant is violated):
+
+    python -m repro chaos --kill-appserver --servers 1,2,4 --sf 0.001
+    python -m repro chaos --kill-appserver --routing round_robin \
+        --sync-period 2.0 --chaos-out scaleout.json
+
 the crash-point fuzzer (kill the engine at sampled WAL/checkpoint
 boundaries, recover, resume, compare digests; exits 1 on divergence):
 
@@ -219,6 +226,49 @@ def cmd_chaos(args) -> int:
             scale_factor=args.sf, workloads=workloads,
             commit_interval=args.commit_interval,
             sample=args.fuzz_sample or None)
+        payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+        if args.chaos_out:
+            with open(args.chaos_out, "w") as handle:
+                handle.write(payload + "\n")
+        if args.format == "json":
+            print(payload)
+        else:
+            print(report.render())
+            if args.chaos_out:
+                print(f"report written to {args.chaos_out}")
+        return 0 if report.ok else 1
+    if args.kill_appserver:
+        from repro.sim.chaos import run_kill_appserver
+
+        try:
+            server_counts = tuple(
+                int(part) for part in args.servers.split(",")
+                if part.strip())
+        except ValueError:
+            print(f"chaos: bad --servers value {args.servers!r} "
+                  f"(expected e.g. '2' or '1,2,4')", file=sys.stderr)
+            return 2
+        if not server_counts or any(n < 1 for n in server_counts):
+            print(f"chaos: --servers must list positive integers: "
+                  f"{args.servers!r}", file=sys.stderr)
+            return 2
+        if args.routing not in ("sticky", "round_robin"):
+            print(f"chaos: unknown --routing {args.routing!r} (choose "
+                  f"from sticky, round_robin)", file=sys.stderr)
+            return 2
+        # --streams defaults to the sweep list "2,4,8"; the scale-out
+        # scenario wants one stream count, so only a single integer is
+        # taken over, anything else falls back to the default 6.
+        streams = 6
+        if "," not in args.streams:
+            try:
+                streams = int(args.streams)
+            except ValueError:
+                pass
+        report = run_kill_appserver(
+            scale_factor=args.sf, server_counts=server_counts,
+            streams=streams, routing=args.routing,
+            sync_period_s=args.sync_period)
         payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
         if args.chaos_out:
             with open(args.chaos_out, "w") as handle:
@@ -417,6 +467,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--chaos-out", default=None,
                        help="also write the JSON chaos report to this "
                             "file")
+    chaos.add_argument("--kill-appserver", action="store_true",
+                       help="chaos: run the multi-app-server failover "
+                            "sweep instead of the fault-profile sweep")
+    chaos.add_argument("--servers", default="1,2,4",
+                       help="kill-appserver: comma-separated server "
+                            "counts to sweep (default 1,2,4)")
+    chaos.add_argument("--routing", default="sticky",
+                       help="kill-appserver: login balancer policy "
+                            "(sticky or round_robin; default sticky)")
+    chaos.add_argument("--sync-period", type=float, default=5.0,
+                       help="kill-appserver: DDLOG buffer-coherence "
+                            "sync period in simulated seconds "
+                            "(default 5.0)")
     monitor = parser.add_argument_group("monitor")
     monitor.add_argument("--alerts", action="store_true",
                          help="monitor: include the CCMS alert section")

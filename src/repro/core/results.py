@@ -85,6 +85,13 @@ ROBUSTNESS_COUNTERS = [
     ("recovery.loser_txns", "Loser transactions", "count"),
     ("recovery.torn_tail_dropped", "Torn log tails dropped", "count"),
     ("recovery.time_s", "Recovery time", "duration"),
+    ("cluster.server_crashes", "App servers crashed", "count"),
+    ("cluster.server_rejoins", "App servers rejoined", "count"),
+    ("cluster.sessions_rerouted", "Sticky sessions re-routed", "count"),
+    ("cluster.ddlog_invalidations", "DDLOG invalidations appended",
+     "count"),
+    ("cluster.stale_reads_prevented", "Stale reads prevented by DDLOG",
+     "count"),
     ("monitor.stat_records", "STAT records written", "count"),
     ("monitor.samples", "Monitor gauge samples", "count"),
     ("monitor.alerts_fired", "CCMS alerts fired", "count"),

@@ -32,6 +32,7 @@ over S independent power tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.r3.dispatcher import (
     PRIORITY_UPDATE,
@@ -281,4 +282,263 @@ def run_throughput_test(
             break
     r3.monitor.finish()
     result.elapsed_s = total_span.stop()
+    return result
+
+
+# -- multi-app-server scheduling ------------------------------------------
+
+
+@dataclass
+class _ClusterRequest(Request):
+    """A request whose body is parameterized by the serving app server.
+
+    The balancer binds ``fn`` to the routed server at submission; when
+    an app-server crash drains the request back to the balancer, the
+    re-route re-binds ``body`` to the surviving server (the queued step
+    never rolled in, so re-binding is idempotent).
+    """
+
+    body: Callable[[object], object] | None = None
+
+    def bind(self, server) -> "_ClusterRequest":
+        body = self.body
+        self.fn = lambda: body(server)
+        return self
+
+
+@dataclass
+class ClusterThroughputResult(ThroughputResult):
+    """Throughput-test result plus cluster-level accounting."""
+
+    n_servers: int = 1
+    routing: str = "round_robin"
+    sync_period_s: float | None = None
+    #: server name -> dialog steps completed there
+    per_server_completed: dict[str, int] = field(default_factory=dict)
+    kills: int = 0
+    rejoins: int = 0
+    sessions_rerouted: int = 0
+    #: worst staleness bound any buffered read was served under
+    max_read_staleness_s: float = 0.0
+    #: cluster-wide current-generation buffer hit ratio
+    buffer_quality: float | None = None
+
+
+def run_cluster_throughput_test(
+    cluster,
+    suite: dict[int, object],
+    streams: int = 2,
+    update_sets: list[tuple] | None = None,
+    dispatcher: DispatcherConfig | None = None,
+    failover: list | None = None,
+) -> ClusterThroughputResult:
+    """Run ``streams`` query streams across the cluster's app servers.
+
+    Each stream is one logged-in session: every submission asks the
+    login balancer for a server (``sticky`` keeps going back; the
+    update stream is its own session) and the step runs through that
+    server's dispatcher, buffers and DBIF — all servers share one
+    engine and one simulated clock, so the schedule is deterministic.
+
+    ``dispatcher`` is one :class:`DispatcherConfig` instantiated *per
+    server* (``None`` = the identity-preserving unconstrained config).
+    ``failover`` is a list of :class:`~repro.r3.cluster.ServerKill`
+    events, processed at round boundaries: a kill drains the dead
+    server's queue back through the balancer (each drained step spends
+    one unit of its crash-requeue budget), a rejoin charges the
+    restart time and cold-starts the server.
+
+    With one server and coherence disabled the schedule is
+    tick-identical to :func:`run_throughput_test` (pinned by
+    regression test).
+    """
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1: {streams}")
+    servers = cluster.servers
+    config = dispatcher or DispatcherConfig.unconstrained(streams)
+    disps = [Dispatcher(server, config) for server in servers]
+    index_of = {server.name: i for i, server in enumerate(servers)}
+    balancer = cluster.balancer
+    events = list(failover or [])
+    result = ClusterThroughputResult(
+        streams=streams, scale_factor=0.0, elapsed_s=0.0,
+        n_servers=len(servers), routing=balancer.policy,
+        sync_period_s=cluster.sync_period_s)
+    result.per_stream = {s: StreamStats() for s in range(streams)}
+    result.per_server_completed = {server.name: 0 for server in servers}
+    permutations = [stream_permutation(s) for s in range(streams)]
+    length = len(permutations[0])
+    positions = [0] * streams
+    waiting = [False] * streams
+    pending_updates = list(update_sets or [])
+    updates_taken = 0
+    resolved_steps = 0
+    clock = cluster.clock
+
+    def note_shed(reason: str | None) -> None:
+        key = (reason or "unknown").split(":")[0].strip()
+        result.shed_reasons[key] = result.shed_reasons.get(key, 0) + 1
+
+    def resolve_shed(request: Request, reason: str) -> None:
+        """A drained request that cannot be re-routed is shed."""
+        note_shed(reason)
+        if request.stream < 0:
+            result.updates_shed += 1
+            return
+        stats = result.per_stream[request.stream]
+        stats.shed += 1
+        positions[request.stream] += 1
+        waiting[request.stream] = False
+        nonlocal resolved_steps
+        resolved_steps += 1
+
+    def query_request(stream: int) -> _ClusterRequest:
+        number = permutations[stream][positions[stream]]
+        return _ClusterRequest(stream=stream, label=f"Q{number}", fn=None,
+                               body=suite[number])
+
+    def update_request(index: int, pair: tuple) -> _ClusterRequest:
+        refresh, doomed = pair
+
+        def body(server) -> None:
+            from repro.reports.updatefuncs import run_uf1_sap, run_uf2_sap
+
+            if refresh is not None:
+                run_uf1_sap(server, refresh)
+            if doomed:
+                run_uf2_sap(server, doomed)
+
+        return _ClusterRequest(stream=-1, label=f"UF-pair-{index}",
+                               fn=None, priority=PRIORITY_UPDATE, body=body)
+
+    def session_of(request: Request):
+        return "update-stream" if request.stream < 0 else request.stream
+
+    def process_failover() -> None:
+        # Event times are relative to the start of the run (the shared
+        # clock already carries the load/upgrade time).
+        for event in events:
+            if not event.killed and clock.now - start_t >= event.at_s \
+                    and servers[event.server].up:
+                cluster.kill(event.server)
+                event.killed = True
+                event.kill_t = clock.now
+                result.kills += 1
+                for request in disps[event.server].drain():
+                    request.requeues += 1
+                    if request.requeues > config.max_requeues:
+                        cluster.metrics.count("dispatcher.shed")
+                        resolve_shed(
+                            request,
+                            f"requeue budget exhausted at "
+                            f"{servers[event.server].name} crash")
+                        continue
+                    age = request.submitted_at
+                    target = balancer.route(session_of(request))
+                    try:
+                        disps[index_of[target.name]].submit(
+                            request.bind(target))
+                    except DispatcherOverload:
+                        resolve_shed(
+                            request,
+                            "failover overflow: surviving queue full")
+                        continue
+                    # The step keeps its original queue age across the
+                    # re-route — the user has been waiting since then.
+                    request.submitted_at = age
+                    cluster.metrics.count("dispatcher.requeued")
+                    if request.stream >= 0:
+                        result.per_stream[request.stream].requeued += 1
+            elif event.killed and not event.rejoined \
+                    and event.rejoin_after_s is not None \
+                    and clock.now >= event.kill_t + event.rejoin_after_s:
+                cluster.rejoin(event.server)
+                event.rejoined = True
+                result.rejoins += 1
+
+    start_t = clock.now
+    total_span = cluster.primary.measure()
+    while True:
+        if events:
+            process_failover()
+        # 1. Submission: every idle stream logs its next query in at
+        # the balancer-routed server.
+        for stream in range(streams):
+            if waiting[stream] or positions[stream] >= length:
+                continue
+            stats = result.per_stream[stream]
+            stats.submitted += 1
+            server = balancer.route(stream)
+            try:
+                disps[index_of[server.name]].submit(
+                    query_request(stream).bind(server))
+                waiting[stream] = True
+            except DispatcherOverload:
+                stats.rejected += 1
+                positions[stream] += 1
+                resolved_steps += 1
+        # 2. Dispatch: every healthy server rolls its queue into its
+        # own work-process pool, in server order on the shared clock.
+        for index, server in enumerate(servers):
+            if not server.up:
+                continue
+            for comp in disps[index].dispatch_round():
+                request = comp.request
+                if request.stream < 0:
+                    if comp.kind == "completed":
+                        result.updates_run += 1
+                        result.update_s += comp.service_s
+                    elif comp.kind == "shed":
+                        result.updates_shed += 1
+                        note_shed(comp.reason)
+                    continue  # "requeued" stays in the queue
+                stats = result.per_stream[request.stream]
+                if comp.kind == "requeued":
+                    stats.requeued += 1
+                    continue
+                stats.queue_wait_s += comp.queue_wait_s
+                if comp.kind == "completed":
+                    stats.completed += 1
+                    result.per_server_completed[server.name] += 1
+                    result.per_query[(request.stream, request.label)] = \
+                        comp.service_s
+                else:
+                    stats.shed += 1
+                    note_shed(comp.reason)
+                positions[request.stream] += 1
+                waiting[request.stream] = False
+                resolved_steps += 1
+        # 3. Update slot: one (sheddable) low-priority UF pair per full
+        # round of resolved dialog steps, as its own balancer session.
+        if pending_updates and updates_taken < resolved_steps // streams:
+            pair = pending_updates.pop(0)
+            request = update_request(updates_taken, pair)
+            updates_taken += 1
+            result.updates_submitted += 1
+            server = balancer.route(session_of(request))
+            try:
+                disps[index_of[server.name]].submit(request.bind(server))
+            except DispatcherOverload as exc:
+                result.updates_shed += 1
+                note_shed(f"admission {type(exc).__name__}")
+        # 4. Done when every stream ran dry and every queue drained.
+        if all(disp.queue_depth == 0 for disp in disps) \
+                and all(pos >= length for pos in positions):
+            break
+    # Rejoins scheduled beyond the workload's end still happen: the
+    # cluster idles (simulated time passes) until the restart window.
+    for event in events:
+        if event.killed and not event.rejoined \
+                and event.rejoin_after_s is not None:
+            target_t = event.kill_t + event.rejoin_after_s
+            if clock.now < target_t:
+                clock.charge(target_t - clock.now)
+            cluster.rejoin(event.server)
+            event.rejoined = True
+            result.rejoins += 1
+    cluster.monitor.finish()
+    result.elapsed_s = total_span.stop()
+    result.sessions_rerouted = balancer.sessions_rerouted
+    result.max_read_staleness_s = cluster.max_read_staleness_s
+    result.buffer_quality = cluster.buffer_quality()
     return result

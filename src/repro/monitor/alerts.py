@@ -99,6 +99,16 @@ class AlertEngine:
         self._state = {rule.name: _RuleState() for rule in self.rules}
         self.events: list[AlertEvent] = []
 
+    def add_rules(self, rules: list[AlertRule]) -> None:
+        """Register additional rules after construction (e.g. the
+        cluster rule set, added only when a cluster is built).  Names
+        must not collide with already-registered rules."""
+        for rule in rules:
+            if rule.name in self._state:
+                raise ValueError(f"duplicate alert rule name: {rule.name}")
+            self.rules.append(rule)
+            self._state[rule.name] = _RuleState()
+
     # -- feeding ---------------------------------------------------------
 
     def observe(self, t: float, gauges: dict[str, float]) -> list[AlertEvent]:
@@ -179,5 +189,23 @@ def default_alert_rules() -> list[AlertRule]:
         AlertRule("fastfail_storm", "fastfail_events", ">=", 5,
                   fire_after=1, clear_after=1, severity="yellow"),
         AlertRule("wal_backlog_high", "wal_backlog", ">=", 512,
+                  fire_after=2, clear_after=2, severity="yellow"),
+    ]
+
+
+def cluster_alert_rules() -> list[AlertRule]:
+    """CCMS rules added when a multi-app-server cluster is built.
+
+    Same structural-silence discipline as the defaults: a healthy
+    cluster has zero servers down, and DDLOG invalidation traffic only
+    reaches storm levels when writes churn the shared log far faster
+    than the workload's steady state (the threshold is per sample
+    window, with two consecutive breaching windows required).
+    """
+    return [
+        AlertRule("appserver_down", "servers_down", ">=", 1,
+                  fire_after=1, clear_after=1, severity="red"),
+        AlertRule("ddlog_invalidation_storm",
+                  "ddlog_invalidation_events", ">=", 50,
                   fire_after=2, clear_after=2, severity="yellow"),
     ]

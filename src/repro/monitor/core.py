@@ -50,6 +50,7 @@ _EVENT_GAUGES = (
     ("breaker_open_events", "dbif.breaker.open"),
     ("fastfail_events", "dbif.breaker.fast_fails"),
     ("shed_events", "dispatcher.shed"),
+    ("ddlog_invalidation_events", "cluster.ddlog_invalidations"),
 )
 
 #: gauges that are hit/(hit+miss) style rates over a sample window
@@ -116,6 +117,7 @@ class StatRecord:
     start_s: float
     end_s: float
     queue_wait_s: float
+    server: str = ""           #: application server name ("" = primary)
     rollin_s: float = 0.0
     rollout_s: float = 0.0
     abap_s: float = 0.0
@@ -147,6 +149,7 @@ class StatRecord:
             "label": self.label,
             "stream": self.stream,
             "wp": self.wp,
+            "server": self.server,
             "outcome": self.outcome,
             "start_s": self.start_s,
             "end_s": self.end_s,
@@ -166,11 +169,11 @@ class _OpenStep:
     """Bookkeeping for a step between begin_step and end_step."""
 
     __slots__ = ("task", "label", "stream", "wp", "queue_wait_s",
-                 "start_s", "base")
+                 "start_s", "base", "server")
 
     def __init__(self, task: str, label: str, stream: int, wp: str,
                  queue_wait_s: float, start_s: float,
-                 base: dict[str, float]) -> None:
+                 base: dict[str, float], server: str = "") -> None:
         self.task = task
         self.label = label
         self.stream = stream
@@ -178,6 +181,7 @@ class _OpenStep:
         self.queue_wait_s = queue_wait_s
         self.start_s = start_s
         self.base = base
+        self.server = server
 
 
 @dataclass
@@ -347,7 +351,8 @@ class WorkloadMonitor:
     # -- STAT records ----------------------------------------------------
 
     def begin_step(self, task: str, label: str, stream: int = 0,
-                   wp: str = "", queue_wait_s: float = 0.0):
+                   wp: str = "", queue_wait_s: float = 0.0,
+                   server: str = ""):
         """Open a dialog step; returns an opaque handle (or ``None``
         when disabled, or when a step is already open — nested steps
         are suppressed so the outer record owns the whole window)."""
@@ -355,7 +360,8 @@ class WorkloadMonitor:
             return None
         self._push("abap")
         step = _OpenStep(task, label, stream, wp, queue_wait_s,
-                         self._clock.now, dict(self._totals))
+                         self._clock.now, dict(self._totals),
+                         server=server)
         self._step = step
         return step
 
@@ -376,7 +382,7 @@ class WorkloadMonitor:
             seq=self._seq, task=step.task, label=step.label,
             stream=step.stream, wp=step.wp, outcome=outcome,
             start_s=step.start_s, end_s=now,
-            queue_wait_s=step.queue_wait_s,
+            queue_wait_s=step.queue_wait_s, server=step.server,
             rollin_s=deltas["rollin"], rollout_s=deltas["rollout"],
             abap_s=deltas["abap"], dbif_s=deltas["dbif"],
             engine_s=deltas["engine"], commit_s=deltas["commit"],

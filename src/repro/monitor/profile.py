@@ -68,8 +68,10 @@ def build_report(monitor: WorkloadMonitor, meta: dict | None = None,
                  include_stat_records: bool = False) -> dict:
     """The ``repro-monitor-v1`` workload report document."""
     by_task: dict[str, list] = {}
+    by_server: dict[str, list] = {}
     for record in monitor.stat_records:
         by_task.setdefault(record.task, []).append(record)
+        by_server.setdefault(record.server, []).append(record)
     tasks = sorted(by_task,
                    key=lambda t: (_TASK_ORDER.get(t, len(_TASK_ORDER)), t))
     report = {
@@ -93,6 +95,15 @@ def build_report(monitor: WorkloadMonitor, meta: dict | None = None,
                 "monitor.statements_dropped"),
         },
     }
+    # Per-server ST03 section: only meaningful (and only emitted) when
+    # steps from more than one application server share the STAT ring —
+    # single-server reports are byte-identical to before.
+    if len(by_server) > 1:
+        report["profile_by_server"] = [
+            {**_task_profile("all", by_server[server]),
+             "server": server or "(unattributed)"}
+            for server in sorted(by_server)
+        ]
     if include_stat_records:
         report["stat_records"] = [r.to_dict()
                                   for r in monitor.stat_records]
@@ -126,6 +137,24 @@ def _render_profile(report: dict) -> str:
         ["Task", "Steps", "Mean ms", "p50", "p95", "p99", "Queue",
          "Roll", "ABAP", "DBIF", "Engine", "Commit", "DB%"],
         rows, title="ST03 workload profile (per-step means, ms)")
+
+
+def _render_server_profile(report: dict) -> str:
+    rows = []
+    for prof in report["profile_by_server"]:
+        resp = prof["response_s"]
+        layers = prof["mean_layers_s"]
+        rows.append([
+            prof["server"], prof["steps"],
+            _ms(resp["mean"]), _ms(resp["p95"]),
+            _ms(layers["queue_wait_s"]),
+            _ms(layers["dbif_s"] + layers["engine_s"]
+                + layers["commit_s"]),
+            f"{prof['db_share'] * 100:.1f}%",
+        ])
+    return render_table(
+        ["Server", "Steps", "Mean ms", "p95", "Queue", "DB ms", "DB%"],
+        rows, title="ST03 per-application-server profile")
 
 
 def _render_db(report: dict) -> str:
@@ -210,6 +239,8 @@ def render_report(report: dict, sections: tuple[str, ...] | None = None
                                for key, value in sorted(meta.items())))
     if "profile" in want:
         parts.append(_render_profile(report))
+        if "profile_by_server" in report:
+            parts.append(_render_server_profile(report))
         parts.append(_render_db(report))
         parts.append(_render_gauges(report))
     if "alerts" in want:

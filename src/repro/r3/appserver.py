@@ -55,8 +55,19 @@ class R3System:
         durability: str = "off",
         store=None,
         database: Database | None = None,
+        name: str = "as0",
     ) -> None:
         self.version = version
+        #: this application server's instance name (``as0`` for the
+        #: classic single-server configuration; cluster secondaries get
+        #: ``as1``, ``as2``, ...).  Monitor gauges of secondary servers
+        #: are suffixed with the name so they never collide.
+        self.name = name
+        #: gauge-name suffix ("" for the default server, ".asN" else)
+        self.gauge_suffix = "" if name == "as0" else f".{name}"
+        #: optional BufferCoherence client (multi-server installations
+        #: only; see :mod:`repro.r3.cluster`)
+        self.coherence = None
         if database is not None:
             # Attach to an existing engine (typically one that just ran
             # crash recovery via Database.open); schema re-activation is
@@ -80,7 +91,7 @@ class R3System:
         self.faults = None
         self.dbif = DatabaseInterface(self)
         self.monitor.attach_source(
-            "breaker_open",
+            f"breaker_open{self.gauge_suffix}",
             lambda: {"closed": 0.0, "half_open": 0.5,
                      "open": 1.0}[self.dbif.breaker.state.value])
         self.buffers = TableBufferManager(self)
@@ -190,6 +201,21 @@ class R3System:
             )
         return table
 
+    # -- buffer coherence ----------------------------------------------------
+
+    def note_write(self, table_name: str) -> None:
+        """Record a write to ``table_name`` for buffer coherence.
+
+        The writing server invalidates its *own* table buffer
+        synchronously (R/3 semantics: local reads see local writes
+        immediately).  In a multi-server cluster the write additionally
+        appends a DDLOG invalidation record that peer servers replay on
+        their sync period — see :mod:`repro.r3.cluster`.
+        """
+        self.buffers.invalidate(table_name)
+        if self.coherence is not None:
+            self.coherence.note_write(table_name)
+
     # -- logical writes (used by batch input and the loader) ---------------------
 
     def insert_logical(self, table_name: str, row: tuple,
@@ -216,7 +242,7 @@ class R3System:
                 f"{table.name}: cluster rows must be written per cluster "
                 f"(insert_cluster)"
             )
-        self.buffers.invalidate(table.name)
+        self.note_write(table.name)
         return (physical_name, rowid)
 
     def insert_cluster(self, table_name: str, cluster_key: tuple,
@@ -241,7 +267,7 @@ class R3System:
                                                 rows):
             rowid = physical_table.insert(physical, bulk=bulk)
             written.append((container.name, rowid))
-        self.buffers.invalidate(table.name)
+        self.note_write(table.name)
         return written
 
     def rollback_rows(self, undo: list[tuple[str, int]]) -> int:
@@ -258,7 +284,7 @@ class R3System:
             self.clock.charge(self.params.rollback_row_s)
             touched.add(physical_name)
         for name in touched:
-            self.buffers.invalidate(name)
+            self.note_write(name)
         if undo:
             self.metrics.count("recovery.rows_rolled_back", len(undo))
         return len(undo)

@@ -236,6 +236,21 @@ class DatabaseInterface:
     def flush_cursor_cache(self) -> None:
         self._cursor_cache.clear()
 
+    def cold_start(self) -> None:
+        """Reset all per-process state after an app-server restart.
+
+        The cursor cache and the circuit-breaker history live in the
+        crashed work processes' memory; a restarted server comes back
+        with an empty cache and a fresh (closed) breaker.
+        """
+        self.flush_cursor_cache()
+        r3 = self._r3
+        self.breaker = CircuitBreaker(
+            r3.clock, r3.metrics, tracer=r3.tracer,
+            failure_threshold=r3.params.breaker_failure_threshold,
+            cooldown_s=r3.params.breaker_cooldown_s,
+            halfopen_probes=r3.params.breaker_halfopen_probes)
+
     # -- internals ------------------------------------------------------------
 
     def _roundtrip(self) -> int:

@@ -148,7 +148,8 @@ class Dispatcher:
         self._shed_threshold = max(
             1, int(self.config.shed_highwater * self.config.queue_capacity))
         r3.monitor.attach_source(
-            "queue_depth", lambda: float(len(self.queue)))
+            f"queue_depth{r3.gauge_suffix}",
+            lambda: float(len(self.queue)))
 
     # -- admission -----------------------------------------------------------
 
@@ -177,6 +178,18 @@ class Dispatcher:
     @property
     def queue_depth(self) -> int:
         return len(self.queue)
+
+    def drain(self) -> list[Request]:
+        """Remove and return every queued request, preserving order.
+
+        Used when this dispatcher's application server crashes: the
+        queued dialog steps have not started (roll-in is the
+        transaction boundary), so the login balancer can re-route them
+        to a surviving server idempotently.
+        """
+        drained = list(self.queue)
+        self.queue.clear()
+        return drained
 
     # -- scheduling ----------------------------------------------------------
 
@@ -239,7 +252,7 @@ class Dispatcher:
                 else "dialog")
         step = r3.monitor.begin_step(
             task, request.label, stream=request.stream, wp=wp.name,
-            queue_wait_s=queue_wait)
+            queue_wait_s=queue_wait, server=r3.name)
         with r3.tracer.span("dispatcher.serve", wp=wp.name,
                             label=request.label,
                             stream=request.stream) as span:

@@ -112,6 +112,18 @@ class SimParams:
     #: seed mixed into the deterministic partition hash
     parallel_hash_seed: int = 0
 
+    # ---- multi-app-server cluster / DDLOG coherence -----------------------
+    #: appending one invalidation record to the shared DDLOG (piggybacks
+    #: on the write's round trip, so it is cheap but not free)
+    ddlog_append_s: float = 0.0001
+    #: fixed cost of one DDLOG sync poll (read the shared log position)
+    ddlog_sync_s: float = 0.0005
+    #: applying one replayed invalidation record to the local buffers
+    ddlog_replay_record_s: float = 0.00005
+    #: restarting a crashed application server before it rejoins the
+    #: login balancer's rotation (process start + buffer cold allocate)
+    appserver_restart_s: float = 30.0
+
     # ---- DBIF circuit breaker --------------------------------------------
     #: consecutive DBIF failures (post-retry) before the breaker opens
     breaker_failure_threshold: int = 3

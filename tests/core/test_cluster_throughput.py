@@ -1,0 +1,152 @@
+"""Cluster throughput scheduling: identity, determinism, failover."""
+
+import pytest
+
+from repro.core.powertest import build_sap_system
+from repro.core.throughput import (
+    run_cluster_throughput_test,
+    run_throughput_test,
+)
+from repro.r3.appserver import R3Version
+from repro.r3.cluster import ServerKill, build_sap_cluster
+from repro.r3.dispatcher import DispatcherConfig
+from repro.reports import native30
+from tests.conftest import SF
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return native30.make_queries(SF)
+
+
+def update_sets(tpcd_data):
+    from repro.tpcd.dbgen import delete_keys, generate_refresh_orders
+
+    return [(generate_refresh_orders(tpcd_data, seed=123),
+             delete_keys(tpcd_data, seed=321))]
+
+
+class TestSingleServerIdentity:
+    """n_servers=1 with coherence disabled is tick-identical to the
+    plain single-server throughput test — and at one server the routing
+    policy cannot matter."""
+
+    def test_cluster_of_one_matches_plain_run_exactly(self, tpcd_data,
+                                                      suite):
+        plain = run_throughput_test(
+            build_sap_system(tpcd_data, R3Version.V30), suite,
+            streams=2, update_sets=update_sets(tpcd_data))
+        for routing in ("round_robin", "sticky"):
+            cluster = build_sap_cluster(tpcd_data, R3Version.V30,
+                                        n_servers=1, routing=routing)
+            result = run_cluster_throughput_test(
+                cluster, suite, streams=2,
+                update_sets=update_sets(tpcd_data))
+            # identical schedule on identical clocks: exact equality
+            assert result.per_query == plain.per_query
+            assert result.update_s == plain.update_s
+            assert result.elapsed_s == plain.elapsed_s
+            assert result.queue_wait_s == plain.queue_wait_s
+            assert result.conservation_ok()
+            assert result.per_server_completed == {"as0": 34}
+            assert result.sessions_rerouted == 0
+            assert result.max_read_staleness_s == 0.0
+
+
+class TestMultiServerDeterminism:
+    def test_seeded_two_server_run_is_reproducible(self, tpcd_data,
+                                                   suite):
+        results = []
+        for _ in range(2):
+            cluster = build_sap_cluster(
+                tpcd_data, R3Version.V30, n_servers=2,
+                sync_period_s=5.0, routing="sticky",
+                buffered_tables={"vbak": 256 * 1024})
+            results.append(run_cluster_throughput_test(
+                cluster, suite, streams=4,
+                update_sets=update_sets(tpcd_data)))
+        first, second = results
+        # two executions from the same inputs are byte-for-byte equal
+        assert first.per_query == second.per_query
+        assert first.elapsed_s == second.elapsed_s
+        assert first.per_server_completed == second.per_server_completed
+        assert first.max_read_staleness_s == second.max_read_staleness_s
+        assert first.buffer_quality == second.buffer_quality
+        # and the work really was spread over both servers
+        assert all(count > 0
+                   for count in first.per_server_completed.values())
+        assert first.conservation_ok()
+
+    def test_staleness_never_exceeds_sync_period(self, tpcd_data, suite):
+        cluster = build_sap_cluster(
+            tpcd_data, R3Version.V30, n_servers=2, sync_period_s=5.0,
+            routing="round_robin",
+            buffered_tables={"vbak": 256 * 1024, "lfa1": 64 * 1024})
+        result = run_cluster_throughput_test(
+            cluster, suite, streams=4,
+            update_sets=update_sets(tpcd_data))
+        assert result.conservation_ok()
+        assert result.max_read_staleness_s < 5.0
+
+
+class TestFailover:
+    def _config(self):
+        return DispatcherConfig(dialog_processes=2, update_processes=1,
+                                queue_capacity=8,
+                                queue_wait_deadline_s=120.0,
+                                shed_highwater=0.75)
+
+    def test_kill_reroutes_and_conserves(self, tpcd_data, suite):
+        cluster = build_sap_cluster(
+            tpcd_data, R3Version.V30, n_servers=2, sync_period_s=5.0,
+            routing="sticky", buffered_tables={"vbak": 256 * 1024})
+        result = run_cluster_throughput_test(
+            cluster, suite, streams=4,
+            update_sets=update_sets(tpcd_data),
+            dispatcher=self._config(),
+            failover=[ServerKill(at_s=10.0, server=1,
+                                 rejoin_after_s=30.0)])
+        assert result.kills == 1
+        assert result.rejoins == 1
+        assert result.conservation_ok()
+        # sticky sessions pinned to the dead server were re-routed
+        assert result.sessions_rerouted >= 1
+        assert cluster.metrics.get("cluster.server_crashes") == 1
+        assert cluster.metrics.get("cluster.server_rejoins") == 1
+        # the survivor served the re-routed work
+        assert result.per_server_completed["as0"] > 0
+        # the dead server is back up and cold at the end
+        as1 = cluster.servers[1]
+        assert as1.up
+        assert as1.dbif._cursor_cache == {}
+
+    def test_rejoin_beyond_workload_end_still_happens(self, tpcd_data,
+                                                      suite):
+        cluster = build_sap_cluster(
+            tpcd_data, R3Version.V30, n_servers=2, routing="sticky")
+        result = run_cluster_throughput_test(
+            cluster, suite, streams=2,
+            failover=[ServerKill(at_s=10.0, server=1,
+                                 rejoin_after_s=10_000_000.0)])
+        assert result.kills == 1
+        assert result.rejoins == 1
+        assert cluster.servers[1].up
+        # the cluster idled (simulated) until the restart window
+        assert result.elapsed_s > 10_000_000.0
+
+    def test_exhausted_requeue_budget_sheds(self, tpcd_data, suite):
+        config = self._config()
+        config.max_requeues = 0
+        cluster = build_sap_cluster(
+            tpcd_data, R3Version.V30, n_servers=2, routing="round_robin")
+        result = run_cluster_throughput_test(
+            cluster, suite, streams=6, dispatcher=config,
+            failover=[ServerKill(at_s=10.0, server=1)])
+        assert result.conservation_ok()
+        # every step drained from the dead server's queue was shed
+        # rather than re-routed: the budget was already spent
+        drained_shed = sum(
+            count for reason, count in result.shed_reasons.items()
+            if reason.startswith("requeue budget exhausted"))
+        assert result.shed >= drained_shed
+        assert cluster.metrics.get("dispatcher.requeued") == 0
