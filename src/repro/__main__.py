@@ -97,7 +97,7 @@ def _build_30(args):
 def cmd_power(args) -> None:
     result = run_power_test(args.sf, _version(args),
                             include_updates=not args.no_updates,
-                            degree=args.degree)
+                            degree=args.degree, storage=args.storage)
     print(result.render())
 
 
@@ -117,7 +117,8 @@ def cmd_dbsize(args) -> None:
 
 
 def cmd_loading(args) -> None:
-    timings = ex.table3_loading(scale_factor=args.sf)
+    timings = ex.table3_loading(scale_factor=args.sf,
+                                storage=args.storage)
     for entity in ("SUPPLIER", "PART", "PARTSUPP", "CUSTOMER",
                    "ORDER+LINEITEM"):
         print(f"{entity:16} {duration_cell(timings.effective(entity))}")
@@ -225,7 +226,8 @@ def cmd_chaos(args) -> int:
         report = run_crash_fuzz(
             scale_factor=args.sf, workloads=workloads,
             commit_interval=args.commit_interval,
-            sample=args.fuzz_sample or None)
+            sample=args.fuzz_sample or None,
+            storage=args.storage)
         payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
         if args.chaos_out:
             with open(args.chaos_out, "w") as handle:
@@ -409,6 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="3.0", help="R/3 release (power test)")
     parser.add_argument("--no-updates", action="store_true",
                         help="skip UF1/UF2 in the power test")
+    parser.add_argument("--storage", choices=["heap", "lsm"],
+                        default="heap",
+                        help="storage backend for power/loading/chaos "
+                             "runs (default: heap)")
     parser.add_argument("--degree", type=int, default=1,
                         help="intra-query parallel degree for the power "
                              "test (default 1 = serial)")

@@ -29,6 +29,28 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
+def _shape_error(record: object, path: str) -> str | None:
+    """Why ``record`` is not a BENCH_*.json dump, or None if it is.
+
+    Guards the diff against raw pytest-benchmark output (a JSON *list*
+    of runs) and other foreign files, which used to surface as a
+    KeyError/AttributeError traceback deep inside the field walk.
+    """
+    if not isinstance(record, dict):
+        return (f"{path}: expected a BENCH_*.json object "
+                f"(got {type(record).__name__}); this is not a dump "
+                f"written by benchmarks/conftest.py")
+    if "name" not in record:
+        return (f"{path}: missing 'name' — not a BENCH_*.json dump "
+                f"(top-level keys: {sorted(record)[:6]})")
+    for section in ("stats", "extra_info"):
+        value = record.get(section)
+        if value is not None and not isinstance(value, dict):
+            return (f"{path}: '{section}' should be an object, "
+                    f"got {type(value).__name__}")
+    return None
+
+
 def _numeric_fields(record: dict, section: str) -> dict[str, float]:
     data = record.get(section) or {}
     return {
@@ -118,8 +140,19 @@ def run_bench_diff(args) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"bench-diff: cannot read inputs: {exc}", file=sys.stderr)
         return 2
+    shape_errors = [err for err in (_shape_error(a, paths[0]),
+                                    _shape_error(b, paths[1])) if err]
+    if shape_errors:
+        for err in shape_errors:
+            print(f"bench-diff: {err}", file=sys.stderr)
+        return 2
     name_a = a.get("name") or paths[0]
     name_b = b.get("name") or paths[1]
+    if name_a != name_b:
+        print(f"bench-diff: benchmark name mismatch: "
+              f"{paths[0]} is {name_a!r} but {paths[1]} is {name_b!r}; "
+              f"diff two dumps of the same benchmark", file=sys.stderr)
+        return 2
     rows = diff_rows(a, b)
     violations = ([] if gate_pct is None
                   else gate_violations(a, b, gate_pct, allow))
@@ -143,8 +176,6 @@ def run_bench_diff(args) -> int:
         print(json.dumps(payload, indent=2))
         return 1 if violations else 0
     title = f"bench-diff: {name_a}  vs  {name_b}"
-    if name_a != name_b:
-        title += "  (different benchmarks!)"
     print(render_table(["Field", "A", "B", "Delta", "Delta %"], rows,
                        title=title))
     if gate_pct is not None:

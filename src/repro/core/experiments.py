@@ -154,10 +154,11 @@ def table3_loading(
     processes: int = 2,
     params: SimParams | None = None,
     data: TpcdData | None = None,
+    storage: str = "heap",
 ) -> LoadTimings:
     """Batch-input load of a fresh SAP system (the paper's Table 3)."""
     data = data or generate(scale_factor)
-    r3 = R3System(R3Version.V22, params=params)
+    r3 = R3System(R3Version.V22, params=params, storage=storage)
     return load_sap_batch_input(r3, data, processes=processes)
 
 

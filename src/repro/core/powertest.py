@@ -104,14 +104,14 @@ class PowerTestResult:
 
 def build_sap_system(data: TpcdData, version: R3Version,
                      params: SimParams | None = None,
-                     degree: int = 1) -> R3System:
+                     degree: int = 1, storage: str = "heap") -> R3System:
     """A loaded SAP system at the requested release level.
 
     3.0E systems are produced the way the paper produced them: install
     2.2G, load, then upgrade in place (KONV conversion included) and
     drop the counterproductive default shipdate index.
     """
-    r3 = R3System(R3Version.V22, params=params)
+    r3 = R3System(R3Version.V22, params=params, storage=storage)
     load_sap_fast(r3, data)
     if version is R3Version.V30:
         upgrade_to_30(r3)
@@ -167,6 +167,7 @@ def run_power_test(
     tracing: bool = False,
     degree: int = 1,
     monitoring: bool = False,
+    storage: str = "heap",
 ) -> PowerTestResult:
     """Run the power test; with ``tracing=True`` each variant's system
     records a full hierarchical trace (enabled after load, so the trace
@@ -182,7 +183,8 @@ def run_power_test(
     result = PowerTestResult(version=version, scale_factor=scale_factor)
 
     if "rdbms" in variants:
-        db = load_original(data, params=params, degree=degree)
+        db = load_original(data, params=params, degree=degree,
+                           storage=storage)
         if tracing:
             db.tracer.enable()
             result.traces["rdbms"] = db.tracer
@@ -205,7 +207,8 @@ def run_power_test(
     uf_times: dict[str, float] = {}
     uf_failures: dict[str, str] = {}
     for i, variant in enumerate(sap_needed):
-        r3 = build_sap_system(data, version, params, degree=degree)
+        r3 = build_sap_system(data, version, params, degree=degree,
+                              storage=storage)
         if tracing:
             r3.tracer.enable()
             result.traces[variant] = r3.tracer

@@ -92,6 +92,12 @@ ROBUSTNESS_COUNTERS = [
      "count"),
     ("cluster.stale_reads_prevented", "Stale reads prevented by DDLOG",
      "count"),
+    ("lsm.flushes", "LSM memtable flushes", "count"),
+    ("lsm.flush_pages", "LSM pages flushed", "count"),
+    ("lsm.compactions", "LSM compactions", "count"),
+    ("lsm.compaction_pages", "LSM compaction pages", "count"),
+    ("lsm.segment_reads", "LSM segment point reads", "count"),
+    ("lsm.bloom_skips", "LSM bloom-filter skips", "count"),
     ("monitor.stat_records", "STAT records written", "count"),
     ("monitor.samples", "Monitor gauge samples", "count"),
     ("monitor.alerts_fired", "CCMS alerts fired", "count"),

@@ -8,6 +8,7 @@ from repro.engine.index import BTreeIndex, HashIndex
 from repro.engine.schema import TableSchema
 from repro.engine.table import Table
 from repro.sim.clock import SimulatedClock
+from repro.sim.disk import DiskModel
 from repro.sim.metrics import MetricsCollector
 from repro.sim.params import SimParams
 
@@ -21,11 +22,16 @@ class Catalog:
         clock: SimulatedClock,
         metrics: MetricsCollector,
         params: SimParams,
+        storage: str = "heap",
+        disk: DiskModel | None = None,
     ) -> None:
         self._buffer = buffer_pool
         self._clock = clock
         self._metrics = metrics
         self._params = params
+        #: backend every new table is created with ("heap" | "lsm")
+        self.storage = storage
+        self._disk = disk
         self._tables: dict[str, Table] = {}
         # Views map a name to a parsed SELECT AST (repro.engine.sql.ast).
         self._views: dict[str, object] = {}
@@ -44,7 +50,7 @@ class Catalog:
         if name in self._tables or name in self._views:
             raise CatalogError(f"{schema.name} already exists")
         table = Table(schema, self._buffer, self._clock, self._metrics,
-                      self._params)
+                      self._params, storage=self.storage, disk=self._disk)
         self._tables[name] = table
         if schema.primary_key and attach_pk:
             self.attach_primary(table)

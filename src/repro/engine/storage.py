@@ -36,6 +36,14 @@ class StorageBackend(abc.ABC):
       tombstones included, so redo replay is idempotent.
     """
 
+    #: True when the backend charges its own I/O/CPU costs inside its
+    #: mutation and charged-read methods.  The heap leaves charging to
+    #: :class:`~repro.engine.table.Table` (buffer-pool page writes);
+    #: the LSM charges internally (memtable CPU, flush/compaction page
+    #: writes, bloom/sparse-index probes), so the table layer must not
+    #: double-charge buffered page I/O on top.
+    self_charging: bool = False
+
     # -- mutation -------------------------------------------------------
 
     @abc.abstractmethod

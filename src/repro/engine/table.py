@@ -5,11 +5,13 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.engine.buffer import BufferPool
-from repro.engine.errors import ConstraintError
+from repro.engine.errors import ConstraintError, ExecutionError
 from repro.engine.index import BTreeIndex, HashIndex
+from repro.engine.lsm import LsmTree
 from repro.engine.schema import TableSchema
 from repro.engine.storage import HeapFile
 from repro.sim.clock import SimulatedClock
+from repro.sim.disk import DiskModel
 from repro.sim.metrics import MetricsCollector
 from repro.sim.params import SimParams
 
@@ -31,6 +33,8 @@ class Table:
         clock: SimulatedClock,
         metrics: MetricsCollector,
         params: SimParams,
+        storage: str = "heap",
+        disk: DiskModel | None = None,
     ) -> None:
         self.schema = schema
         self.name = schema.name.lower()
@@ -38,7 +42,17 @@ class Table:
         self._clock = clock
         self._metrics = metrics
         self._params = params
-        self.heap = HeapFile(schema, params.page_size_bytes)
+        self.storage = storage
+        if storage == "lsm":
+            if disk is None:
+                raise ValueError("lsm storage needs the disk model")
+            self.heap: HeapFile | LsmTree = LsmTree(
+                schema, params, clock, metrics, disk, buffer_pool
+            )
+        elif storage == "heap":
+            self.heap = HeapFile(schema, params.page_size_bytes)
+        else:
+            raise ValueError(f"unknown storage backend {storage!r}")
         self.indexes: dict[str, Index] = {}
         self._pk_index: Index | None = None
         #: the database's WriteAheadLog, or None when durability is off
@@ -86,12 +100,13 @@ class Table:
         self._check_primary_key(row)
         rowid = self.heap.append(row)
         self._metrics.count(f"table.{self.name}.inserts")
-        if bulk:
-            if rowid % self.heap.rows_per_page == 0:
-                self._buffer.write(self.name, self.heap.page_of(rowid),
-                                   fresh=True)
-        else:
-            self._buffer.write(self.name, self.heap.page_of(rowid))
+        if not self.heap.self_charging:
+            if bulk:
+                if rowid % self.heap.rows_per_page == 0:
+                    self._buffer.write(self.name, self.heap.page_of(rowid),
+                                       fresh=True)
+            else:
+                self._buffer.write(self.name, self.heap.page_of(rowid))
         for index in self.indexes.values():
             index.insert(row, rowid, bulk=bulk)
         if self.wal is not None:
@@ -105,7 +120,8 @@ class Table:
             index.delete(row, rowid)
         self.heap.delete(rowid)
         self._metrics.count(f"table.{self.name}.deletes")
-        self._buffer.write(self.name, self.heap.page_of(rowid))
+        if not self.heap.self_charging:
+            self._buffer.write(self.name, self.heap.page_of(rowid))
         if self.wal is not None:
             self.wal.log_delete(self.name, rowid, row,
                                 self.heap.page_of(rowid))
@@ -119,7 +135,8 @@ class Table:
         for index in self.indexes.values():
             index.insert(new_row, rowid)
         self._metrics.count(f"table.{self.name}.updates")
-        self._buffer.write(self.name, self.heap.page_of(rowid))
+        if not self.heap.self_charging:
+            self._buffer.write(self.name, self.heap.page_of(rowid))
         if self.wal is not None:
             self.wal.log_update(self.name, rowid, old_row, new_row,
                                 self.heap.page_of(rowid))
@@ -134,7 +151,8 @@ class Table:
         """
         self.heap.restore_slot(rowid, row)
         self._metrics.count(f"table.{self.name}.inserts")
-        self._buffer.write(self.name, self.heap.page_of(rowid))
+        if not self.heap.self_charging:
+            self._buffer.write(self.name, self.heap.page_of(rowid))
         for index in self.indexes.values():
             index.insert(row, rowid)
 
@@ -156,7 +174,17 @@ class Table:
     # -- access ---------------------------------------------------------------
 
     def scan(self) -> Iterator[tuple[int, tuple]]:
-        """Full sequential scan charging one buffer access per page."""
+        """Full sequential scan charging one buffer access per page.
+
+        Self-charging backends (the LSM) price the scan themselves —
+        one buffered sequential block read per segment block plus
+        memtable CPU — via ``scan_charged``.
+        """
+        if self.heap.self_charging:
+            for rowid, row in self.heap.scan_charged():
+                self._metrics.count(f"table.{self.name}.tuples_scanned")
+                yield rowid, row
+            return
         last_page = -1
         for rowid, row in self.heap.scan():
             page = self.heap.page_of(rowid)
@@ -168,6 +196,12 @@ class Table:
 
     def fetch_row(self, rowid: int, sequential: bool = False) -> tuple:
         """Random row fetch (what unclustered index scans pay for)."""
+        if self.heap.self_charging:
+            self._metrics.count(f"table.{self.name}.tuples_fetched")
+            row = self.heap.read_point(rowid)
+            if row is None:
+                raise ExecutionError(f"fetch of dead rowid {rowid}")
+            return row
         self._buffer.access(
             self.name, self.heap.page_of(rowid), sequential=sequential
         )

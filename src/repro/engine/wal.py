@@ -242,6 +242,10 @@ class DurableStore:
     through the same ``except`` ladders) from polluting durable state.
     """
 
+    #: storage backend the owning database was created with; recorded
+    #: by Database so Database.open reopens with the same backend
+    storage = "heap"
+
     def __init__(self, params: SimParams | None = None) -> None:
         self.params = params or SimParams()
         self.segments: list[WalSegment] = [WalSegment(0)]
@@ -405,6 +409,9 @@ class WriteAheadLog:
         self.dead = False
         #: set while recovery replays history (suppresses re-logging)
         self.recovering = False
+        #: set by the direct-path loader: mutations are NOT logged (the
+        #: sealing checkpoint afterwards is the one durable boundary)
+        self.bypass = False
         #: builds (catalog payload, table slots) for checkpoint images;
         #: wired up by the owning Database
         self.snapshot_provider: SnapshotProvider | None = None
@@ -428,7 +435,7 @@ class WriteAheadLog:
 
     def begin(self) -> int:
         """Open an explicit transaction; returns its id."""
-        if self.dead or self.recovering:
+        if self.dead or self.recovering or self.bypass:
             return 0
         if self._current_txn is not None:
             raise ExecutionError(
@@ -448,7 +455,7 @@ class WriteAheadLog:
         durable *atomically* with the transaction it describes — a torn
         COMMIT frame loses both together, never one without the other.
         """
-        if self.dead or self.recovering:
+        if self.dead or self.recovering or self.bypass:
             return
         if self._current_txn is None:
             raise ExecutionError("commit without an open transaction")
@@ -499,7 +506,7 @@ class WriteAheadLog:
         is open (tuple-at-a-time durability: an own COMMIT + log force
         per record, the expensive path batch input's group commit
         exists to avoid)."""
-        if self.dead or self.recovering:
+        if self.dead or self.recovering or self.bypass:
             return
         implicit = self._current_txn is None
         if implicit:
@@ -596,7 +603,7 @@ class WriteAheadLog:
         transactions are *not* quiesced — their uncommitted effects are
         inside the image and the ATT tells recovery what to undo.
         """
-        if self.dead or self.recovering:
+        if self.dead or self.recovering or self.bypass:
             return
         if self.snapshot_provider is None:
             raise ExecutionError("checkpoint without a snapshot provider")

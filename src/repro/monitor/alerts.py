@@ -190,6 +190,12 @@ def default_alert_rules() -> list[AlertRule]:
                   fire_after=1, clear_after=1, severity="yellow"),
         AlertRule("wal_backlog_high", "wal_backlog", ">=", 512,
                   fire_after=2, clear_after=2, severity="yellow"),
+        # The compaction_backlog gauge is only attached on LSM
+        # databases, so heap-only runs are structurally silent: the
+        # engine skips rules whose gauge is absent from the sample.
+        AlertRule("compaction_backlog_high", "compaction_backlog",
+                  ">=", 4, fire_after=2, clear_after=2,
+                  severity="yellow"),
     ]
 
 

@@ -56,6 +56,7 @@ class R3System:
         store=None,
         database: Database | None = None,
         name: str = "as0",
+        storage: str = "heap",
     ) -> None:
         self.version = version
         #: this application server's instance name (``as0`` for the
@@ -78,7 +79,7 @@ class R3System:
             self.params = params or SimParams()
             self.db = Database(params=self.params, name="sapdb",
                                degree=degree, durability=durability,
-                               store=store)
+                               store=store, storage=storage)
         self.clock = self.db.clock
         self.metrics = self.db.metrics
         #: shared hierarchical tracer (one tree across all tiers)

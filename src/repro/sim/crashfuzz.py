@@ -44,14 +44,15 @@ FUZZ_WORKLOADS = ("load", "uf", "power")
 # -- workloads ---------------------------------------------------------------
 
 
-def _build_durable_system(params: SimParams, v22: bool = False):
+def _build_durable_system(params: SimParams, v22: bool = False,
+                          storage: str = "heap"):
     from repro.engine.wal import DurableStore
     from repro.r3.appserver import R3System, R3Version
 
     store = DurableStore(params)
     r3 = R3System(
         version=R3Version.V22 if v22 else R3Version.V30,
-        params=params, durability="wal", store=store)
+        params=params, durability="wal", store=store, storage=storage)
     return r3, store
 
 
@@ -235,6 +236,7 @@ class CrashFuzzReport:
     scale_factor: float
     commit_interval: int
     sample: int | None
+    storage: str = "heap"
     workloads: list[WorkloadFuzzReport] = field(default_factory=list)
 
     @property
@@ -247,6 +249,7 @@ class CrashFuzzReport:
             "scale_factor": self.scale_factor,
             "commit_interval": self.commit_interval,
             "sample": self.sample,
+            "storage": self.storage,
             "workloads": [w.to_json() for w in self.workloads],
             "ok": self.ok,
         }
@@ -299,10 +302,11 @@ def _sample_boundaries(total: int, sample: int | None) -> list[int]:
     return sorted({round(1 + i * step) for i in range(sample)})
 
 
-def _census(workload, data, commit_interval: int,
-            params_factory) -> tuple[int, dict[str, int], str]:
+def _census(workload, data, commit_interval: int, params_factory,
+            storage: str = "heap") -> tuple[int, dict[str, int], str]:
     """Reference run: boundary count, per-kind census, clean digest."""
-    r3, _ = _build_durable_system(params_factory(), v22=workload.v22)
+    r3, _ = _build_durable_system(params_factory(), v22=workload.v22,
+                                  storage=storage)
     journal = workload.setup(r3, data)
     injector = FaultInjector(FaultProfile(name="census"), r3.clock,
                              r3.metrics)
@@ -314,12 +318,14 @@ def _census(workload, data, commit_interval: int,
 
 
 def _run_trial(workload, data, commit_interval: int, k: int, mode: str,
-               reference_digest: str, params_factory) -> CrashTrial:
+               reference_digest: str, params_factory,
+               storage: str = "heap") -> CrashTrial:
     from repro.r3.appserver import R3Version
     from repro.sapschema.loader import recover_sap_system
 
     trial = CrashTrial(k=k, mode=mode)
-    r3, store = _build_durable_system(params_factory(), v22=workload.v22)
+    r3, store = _build_durable_system(params_factory(), v22=workload.v22,
+                                      storage=storage)
     journal = workload.setup(r3, data)
     profile = FaultProfile(
         name=f"crashfuzz-{workload.name}-{mode}-{k}", seed=1996 + k,
@@ -368,6 +374,7 @@ def run_crash_fuzz(
     checkpoint_every: int | None = 1500,
     data=None,
     params_factory=None,
+    storage: str = "heap",
 ) -> CrashFuzzReport:
     """Sweep injected engine crashes over ``workloads``.
 
@@ -387,6 +394,12 @@ def run_crash_fuzz(
         def params_factory() -> SimParams:
             params = SimParams()
             params.wal_checkpoint_every_records = checkpoint_every
+            if storage == "lsm":
+                # Fuzz-sized datasets would never fill the default
+                # memtable: shrink it so the sweep actually lands
+                # crashes on lsm.flush / lsm.compaction boundaries.
+                params.lsm_memtable_bytes = 8 * 1024
+                params.lsm_l0_compaction_trigger = 2
             return params
 
     unknown = [w for w in workloads if w not in _WORKLOADS]
@@ -396,11 +409,12 @@ def run_crash_fuzz(
     data = data if data is not None else generate(scale_factor)
     report = CrashFuzzReport(scale_factor=scale_factor,
                              commit_interval=commit_interval,
-                             sample=sample)
+                             sample=sample, storage=storage)
     for name in workloads:
         workload = _WORKLOADS[name]
         boundaries, kinds, reference = _census(
-            workload, data, commit_interval, params_factory)
+            workload, data, commit_interval, params_factory,
+            storage=storage)
         wl_report = WorkloadFuzzReport(
             workload=name, boundaries=boundaries, boundary_kinds=kinds,
             reference_digest=reference)
@@ -412,6 +426,6 @@ def run_crash_fuzz(
         for k, mode in plan:
             wl_report.trials.append(_run_trial(
                 workload, data, commit_interval, k, mode, reference,
-                params_factory))
+                params_factory, storage=storage))
         report.workloads.append(wl_report)
     return report

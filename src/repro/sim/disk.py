@@ -37,12 +37,14 @@ class DiskModel:
         retry_penalty_s: float = 0.030,
         max_retries: int = 3,
         fsync_s: float = 0.005,
+        seq_write_s: float = 0.002,
     ) -> None:
         self._clock = clock
         self._metrics = metrics
         self._seq_read_s = seq_read_s
         self._random_read_s = random_read_s
         self._write_s = write_s
+        self._seq_write_s = seq_write_s
         self._retry_penalty_s = retry_penalty_s
         self._max_retries = max_retries
         self._fsync_s = fsync_s
@@ -56,9 +58,18 @@ class DiskModel:
         else:
             self._transfer("disk.random_reads", self._random_read_s)
 
-    def write_page(self) -> None:
-        """Charge one page write."""
-        self._transfer("disk.writes", self._write_s)
+    def write_page(self, sequential: bool = False) -> None:
+        """Charge one page write; ``sequential`` picks the cost class.
+
+        Random writes pay seek + rotational latency (the heap's
+        in-place page writes); sequential writes pay mostly transfer
+        time — the LSM flush/compaction and the direct-path loader
+        write whole sorted runs and earn the cheaper class.
+        """
+        if sequential:
+            self._transfer("disk.seq_writes", self._seq_write_s)
+        else:
+            self._transfer("disk.writes", self._write_s)
 
     def fsync(self) -> None:
         """Charge one write barrier (the WAL's group-commit log force)."""

@@ -26,6 +26,9 @@ class SimParams:
     seq_read_s: float = 0.0015
     random_read_s: float = 0.012
     write_s: float = 0.010
+    #: sequential page write (LSM flush/compaction, direct-path load):
+    #: mostly transfer time, like a sequential read plus media overhead
+    seq_write_s: float = 0.002
     buffer_hit_s: float = 0.00002
 
     # ---- engine CPU ---------------------------------------------------
@@ -85,6 +88,20 @@ class SimParams:
     wal_segment_records: int = 4096
     #: automatic fuzzy checkpoint every ~N logged records (None: manual)
     wal_checkpoint_every_records: int | None = 20000
+
+    # ---- LSM storage backend ---------------------------------------------
+    #: memtable bytes before a size-triggered flush to an L0 SSTable
+    lsm_memtable_bytes: int = 256 * 1024
+    #: L0 segments that accumulate before compaction into L1 is scheduled
+    lsm_l0_compaction_trigger: int = 4
+    #: size ratio between adjacent levels (level N+1 holds ratio× level N)
+    lsm_level_ratio: int = 8
+    #: CPU cost of one memtable insert/lookup (skiplist step, amortised)
+    lsm_memtable_op_s: float = 0.000004
+    #: CPU cost of one bloom-filter probe on a point read
+    lsm_bloom_probe_s: float = 0.000002
+    #: CPU cost of one sparse-index binary-search step inside an SSTable
+    lsm_index_probe_s: float = 0.000003
 
     # ---- dispatcher / work-process pool ----------------------------------
     #: rolling a user context into a work process (paper §2: the app

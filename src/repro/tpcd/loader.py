@@ -14,9 +14,10 @@ from repro.tpcd.schema import ORIGINAL_TABLES, create_original_schema
 
 
 def load_original(data: TpcdData, params: SimParams | None = None,
-                  analyze: bool = True, degree: int = 1) -> Database:
+                  analyze: bool = True, degree: int = 1,
+                  storage: str = "heap") -> Database:
     """Create an engine database holding the original TPC-D tables."""
-    db = Database(params=params, name="tpcd")
+    db = Database(params=params, name="tpcd", storage=storage)
     create_original_schema(db)
     for name in ORIGINAL_TABLES:
         db.bulk_load(name, data.table(name))

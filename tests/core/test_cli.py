@@ -10,6 +10,13 @@ class TestParser:
         args = build_parser().parse_args(["power"])
         assert args.sf == 0.002 and args.release == "3.0"
 
+    def test_storage_flag(self):
+        assert build_parser().parse_args(["power"]).storage == "heap"
+        args = build_parser().parse_args(["loading", "--storage", "lsm"])
+        assert args.storage == "lsm"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["power", "--storage", "btree"])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
@@ -87,3 +94,43 @@ class TestCommands:
 
     def test_bench_diff_needs_two_files(self, capsys):
         assert main(["bench-diff"]) == 2
+
+    def test_bench_diff_name_mismatch_is_a_clear_error(self, tmp_path,
+                                                       capsys):
+        import json
+
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps({"name": "bench_x",
+                                 "extra_info": {"s": 1.0}}))
+        b.write_text(json.dumps({"name": "bench_y",
+                                 "extra_info": {"s": 1.0}}))
+        assert main(["bench-diff", str(a), str(b), "--gate", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "name mismatch" in err
+        assert "bench_x" in err and "bench_y" in err
+
+    def test_bench_diff_foreign_shape_is_a_clear_error(self, tmp_path,
+                                                       capsys):
+        import json
+
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "raw.json"
+        a.write_text(json.dumps({"name": "bench_x",
+                                 "extra_info": {"s": 1.0}}))
+        # raw pytest-benchmark output is a JSON list, not a dump
+        b.write_text(json.dumps([{"stats": {"mean": 1.0}}]))
+        assert main(["bench-diff", str(a), str(b)]) == 2
+        err = capsys.readouterr().err
+        assert "raw.json" in err and "expected a BENCH_" in err
+
+    def test_bench_diff_missing_name_is_a_clear_error(self, tmp_path,
+                                                      capsys):
+        import json
+
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        a.write_text(json.dumps({"stats": {"mean": 1.0}}))
+        b.write_text(json.dumps({"name": "bench_x", "stats": {}}))
+        assert main(["bench-diff", str(a), str(b)]) == 2
+        assert "missing 'name'" in capsys.readouterr().err

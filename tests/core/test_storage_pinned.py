@@ -1,0 +1,41 @@
+"""Pinned heap timings: the default backend is tick-identical to seed.
+
+The LSM backend and the sequential-write cost class must not move the
+heap path by a single simulated tick — the heap's charging code is
+byte-identical (``self_charging`` is False, so every branch the LSM
+added is skipped), and these exact-equality pins prove it.  The floats
+below were captured on the pre-LSM tree; any drift here is a real
+behavioral change to the default engine, not noise (the simulator is
+deterministic).
+"""
+
+import repro.core  # noqa: F401  (resolves the engine<->core import cycle)
+from repro.core.experiments import table3_loading
+from repro.core.powertest import run_power_test
+from repro.r3.appserver import R3Version
+
+#: run_power_test(0.001, V30) per-variant totals on the pre-LSM tree
+POWER_PINS = {
+    "rdbms": 4.648791555983359,
+    "native": 18.819658866084865,
+    "open": 52.10815188287779,
+}
+
+#: table3_loading(0.0005, processes=1) per-entity elapsed, pre-LSM tree
+BATCH_INPUT_PINS = {
+    "SUPPLIER": 3.4770199999999947,
+    "PART": 87.29990000000407,
+    "PARTSUPP": 278.366879999987,
+    "CUSTOMER": 51.29375999999252,
+    "ORDER+LINEITEM": 1118.4087015983223,
+}
+
+
+def test_power_test_heap_is_tick_identical():
+    result = run_power_test(0.001, R3Version.V30)
+    assert {v: result.total(v) for v in POWER_PINS} == POWER_PINS
+
+
+def test_batch_input_heap_is_tick_identical():
+    timings = table3_loading(scale_factor=0.0005, processes=1)
+    assert timings.elapsed == BATCH_INPUT_PINS
